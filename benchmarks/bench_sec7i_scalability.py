@@ -1,0 +1,57 @@
+"""Section VII-I: hardware-resource scalability.
+
+Two results: (1) the placement/timing wall — echo application tiles
+added to a UDP stack until the router-to-router critical path fails
+250 MHz at 28 tiles total (22 application tiles), limited by timing,
+not LUTs; (2) NoC bandwidth scales with duplicated stacks up to the
+load balancer's serialisation limit (the Fig 12 companion numbers).
+"""
+
+import pytest
+
+from repro import params
+from repro.resources import (
+    max_frequency_mhz,
+    max_placeable_tiles,
+    tile_cost,
+)
+
+
+def run_scalability():
+    stack_tiles = 6  # eth/ip/udp rx + tx
+    rows = []
+    for app_tiles in (1, 8, 16, 22, 23):
+        total = stack_tiles + app_tiles
+        fmax = max_frequency_mhz(total)
+        luts = (sum(tile_cost(k).luts for k in
+                    ("eth_rx", "ip_rx", "udp_rx", "udp_tx", "ip_tx",
+                     "eth_tx"))
+                + app_tiles * tile_cost("echo_app").luts)
+        rows.append((app_tiles, total, fmax, luts,
+                     100 * luts / params.U200_TOTAL_LUTS))
+    return rows, max_placeable_tiles(250.0)
+
+
+def bench_sec7i_scalability(benchmark, report):
+    rows, ceiling = benchmark.pedantic(run_scalability, rounds=1,
+                                       iterations=1)
+
+    report.table(
+        ["app tiles", "total tiles", "fmax MHz", "LUTs", "% LUTs"],
+        [[apps, total, f"{fmax:.1f}", luts, f"{pct:.1f}"]
+         for apps, total, fmax, luts, pct in rows],
+    )
+    report.row()
+    report.row(f"placement ceiling at 250 MHz: {ceiling} tiles "
+               "(paper: 28 total / 22 application tiles)")
+    last_ok = rows[-2]
+    report.row(f"at the ceiling the design uses only "
+               f"{last_ok[4]:.1f}% of LUTs — limited by timing "
+               "(512-bit router fan-out + chiplet crossings), not "
+               "resources, as the paper reports")
+
+    assert ceiling == 28
+    by_apps = {row[0]: row for row in rows}
+    assert by_apps[22][2] >= 250.0   # 22 app tiles close timing
+    assert by_apps[23][2] < 250.0    # 23 do not
+    assert by_apps[22][4] < 25.0     # LUTs are nowhere near the wall

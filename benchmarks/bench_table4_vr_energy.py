@@ -1,0 +1,78 @@
+"""Table IV: energy per operation and performance at the Fig 11 knees.
+
+One operating point per shard count (the paper's circled points: the
+highest throughput before latency spikes), comparing the CPU witness
+server against the Beehive witness appliance on energy (measured at
+the witness), throughput, and latency (measured at the clients).
+"""
+
+import pytest
+
+from repro.apps.vr.cluster import VrExperiment
+
+# Knee client counts, chosen like the paper chooses circled points:
+# the last sweep point before median latency departs its plateau.
+KNEE_CLIENTS = {1: 4, 2: 7, 3: 10, 4: 13}
+DURATION_S = 0.4
+
+PAPER = {
+    # shards: (cpu mJ, fpga mJ, cpu kops, fpga kops,
+    #          cpu med us, fpga med us, cpu p99, fpga p99)
+    1: (1.51, 0.73, 31, 35, 112, 99, 273, 281),
+    2: (1.03, 0.48, 48, 54, 142, 130, 372, 334),
+    3: (0.90, 0.39, 58, 66, 115, 102, 339, 304),
+    4: (0.70, 0.31, 77, 83, 128, 118, 412, 394),
+}
+
+
+def run_table4():
+    results = {}
+    for shards, clients in KNEE_CLIENTS.items():
+        for kind in ("cpu", "fpga"):
+            results[(shards, kind)] = VrExperiment(
+                shards=shards, witness_kind=kind, n_clients=clients,
+            ).run(duration_s=DURATION_S)
+    return results
+
+
+def bench_table4_vr_energy(benchmark, report):
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+
+    rows = []
+    for shards in KNEE_CLIENTS:
+        cpu = results[(shards, "cpu")]
+        fpga = results[(shards, "fpga")]
+        paper = PAPER[shards]
+        rows.append([
+            shards,
+            f"{cpu.energy_mj_per_op:.2f} ({paper[0]})",
+            f"{fpga.energy_mj_per_op:.2f} ({paper[1]})",
+            f"{cpu.energy_mj_per_op / fpga.energy_mj_per_op:.2f}x "
+            f"({paper[0] / paper[1]:.2f}x)",
+            f"{cpu.throughput_kops:.0f}/{fpga.throughput_kops:.0f} "
+            f"({paper[2]}/{paper[3]})",
+            f"{cpu.median_latency_us:.0f}/{fpga.median_latency_us:.0f}"
+            f" ({paper[4]}/{paper[5]})",
+            f"{cpu.p99_latency_us:.0f}/{fpga.p99_latency_us:.0f} "
+            f"({paper[6]}/{paper[7]})",
+        ])
+    report.row("measured (paper) per column; X/Y = CPU/FPGA:")
+    report.table(
+        ["shards", "CPU mJ/op", "FPGA mJ/op", "efficiency",
+         "kops", "median us", "p99 us"],
+        rows,
+    )
+
+    for shards in KNEE_CLIENTS:
+        cpu = results[(shards, "cpu")]
+        fpga = results[(shards, "fpga")]
+        efficiency = cpu.energy_mj_per_op / fpga.energy_mj_per_op
+        # Paper: 2.07x - 2.32x energy efficiency.
+        assert 1.7 <= efficiency <= 2.9
+        # FPGA witness wins throughput and median latency everywhere.
+        assert fpga.throughput_kops >= cpu.throughput_kops
+        assert fpga.median_latency_us <= cpu.median_latency_us
+    one_cpu = results[(1, "cpu")]
+    one_fpga = results[(1, "fpga")]
+    assert one_cpu.energy_mj_per_op == pytest.approx(1.51, rel=0.15)
+    assert one_fpga.energy_mj_per_op == pytest.approx(0.73, rel=0.15)

@@ -1,0 +1,60 @@
+"""Shared reporting helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured comparison (bypassing pytest's capture so
+the tables are visible in normal runs).  Timing-wise, each benchmark
+wraps its experiment in the pytest-benchmark fixture so
+``pytest benchmarks/ --benchmark-only`` also reports how long each
+reproduction takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class Report:
+    """Collects and prints one experiment's comparison table."""
+
+    def __init__(self, title: str, capsys):
+        self.title = title
+        self.capsys = capsys
+        self.lines: list[str] = []
+
+    def row(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [len(h) for h in headers]
+        rendered = [[self._fmt(cell) for cell in row] for row in rows]
+        for row in rendered:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+        self.row(header)
+        self.row("-" * len(header))
+        for row in rendered:
+            self.row("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def emit(self) -> None:
+        with self.capsys.disabled():
+            print()
+            print("=" * 72)
+            print(self.title)
+            print("=" * 72)
+            for line in self.lines:
+                print(line)
+
+
+@pytest.fixture
+def report(request, capsys):
+    """A Report named after the benchmark, auto-emitted at teardown."""
+    rep = Report(request.node.name, capsys)
+    yield rep
+    rep.emit()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compile-time deadlock analysis + runtime confirmation (Fig 5).
+
+Runs the static resource-dependency analyzer over the paper's Fig 5
+tile placements, then *actually deadlocks* the cycle simulator on the
+bad one (and streams a packet cleanly through the good one).  Finally
+builds a design from XML and shows the generator rejecting a deadlocky
+layout at compile time.
+
+Run:  python examples/deadlock_analysis.py
+"""
+
+from repro.config import build_design, design_from_xml
+from repro.config.examples import UDP_ECHO_XML
+from repro.deadlock import (
+    DeadlockError,
+    analyze_chains,
+    build_fig5_layout,
+)
+from repro.noc import NocMessage
+
+
+def static_analysis():
+    for variant in ("a", "b"):
+        _, _, _, chain, coords = build_fig5_layout(variant)
+        cycle = analyze_chains([chain], coords)
+        layout = ", ".join(f"{name}@{coord}"
+                           for name, coord in coords.items())
+        if cycle is None:
+            print(f"Fig 5{variant} [{layout}]: deadlock-free")
+        else:
+            witness = " -> ".join(f"{coord}:{port.value}"
+                                  for coord, port in cycle)
+            print(f"Fig 5{variant} [{layout}]: CYCLE {witness}")
+
+
+def runtime_confirmation():
+    print("\nruntime (8 KB packet through streaming relay tiles):")
+    for variant in ("a", "b"):
+        sim, ingress, tiles, chain, coords = build_fig5_layout(variant)
+        ingress.send(NocMessage(dst=coords["ip"], src=coords["eth"],
+                                data=bytes(8192)))
+        try:
+            sim.run_until(lambda: tiles["app"].messages_through >= 1,
+                          max_cycles=5000)
+            print(f"  Fig 5{variant}: delivered in {sim.cycle} cycles")
+        except TimeoutError:
+            print(f"  Fig 5{variant}: WEDGED — app received "
+                  f"{tiles['app'].flits_through} flits, NoC deadlocked")
+
+
+def compile_time_rejection():
+    print("\nXML tooling rejects a deadlocky placement at build time:")
+    spec = design_from_xml(UDP_ECHO_XML)
+    spec.tile("ip_rx").x, spec.tile("udp_rx").x = 2, 1  # Fig 5a swap
+    try:
+        build_design(spec)
+    except DeadlockError as error:
+        print(f"  DeadlockError: {error}")
+
+
+def main():
+    static_analysis()
+    runtime_confirmation()
+    compile_time_rejection()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation` on this box lacks bdist_wheel, so
+`python setup.py develop` / this shim keeps the editable install working.
+"""
+from setuptools import setup
+
+setup()

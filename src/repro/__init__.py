@@ -1,0 +1,34 @@
+"""repro — a Python reproduction of Beehive (MICRO 2024).
+
+Beehive is an FPGA network stack for direct-attached accelerators,
+built as protocol/application tiles message-passing over a 2D-mesh
+NoC.  This package reproduces the system and its evaluation in
+simulation: a flit-accurate NoC and tile model, byte-accurate
+protocols (Ethernet/IPv4/UDP/TCP), network functions (NAT, IP-in-IP),
+a control plane, compile-time deadlock analysis, design-XML tooling,
+the two case-study accelerators (Reed-Solomon, VR witness), every
+baseline the paper compares against, and one benchmark per table and
+figure.  See DESIGN.md for the substitution map (what the paper ran on
+hardware vs. what this package models) and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quick start::
+
+    from repro.designs import UdpEchoDesign, FrameSink
+    from repro.packet import build_ipv4_udp_frame, MacAddress, IPv4Address
+
+    design = UdpEchoDesign(udp_port=7)
+    design.add_client(IPv4Address("10.0.0.1"),
+                      MacAddress("02:00:00:00:00:01"))
+    frame = build_ipv4_udp_frame(...)
+    design.inject(frame, cycle=0)
+    sink = FrameSink(design.eth_tx)
+    design.sim.add(sink)
+    design.sim.run_until(lambda: sink.count >= 1)
+"""
+
+__version__ = "1.0.0"
+
+from repro import params
+
+__all__ = ["params", "__version__"]

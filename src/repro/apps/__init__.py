@@ -1,0 +1,15 @@
+"""Applications integrated with Beehive.
+
+- :mod:`repro.apps.echo` — the UDP echo server used by the
+  microbenchmarks (Table I, Fig 7, Fig 12).
+- :mod:`repro.apps.reed_solomon` — the bandwidth-oriented case study:
+  a complete GF(2^8) Reed-Solomon codec plus the accelerator tile and
+  the CPU baseline (Table III).
+- :mod:`repro.apps.vr` — the latency-oriented case study: a
+  viewstamped-replication-derived consensus system with hardware
+  witness tiles (Fig 11, Table IV).
+"""
+
+from repro.apps.echo import UdpEchoAppTile
+
+__all__ = ["UdpEchoAppTile"]

@@ -1,0 +1,46 @@
+"""The UDP echo application tile.
+
+Receives a UDP payload (with the full parsed header metadata from the
+protocol chain) and sends it straight back, swapping the source and
+destination addresses/ports — the server side of the paper's echo
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.packet.ipv4 import IPPROTO_UDP, IPv4Header
+from repro.packet.udp import UdpHeader
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+
+
+class UdpEchoAppTile(Tile):
+    """Echoes every UDP datagram back to its sender."""
+
+    KIND = "echo_app"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self.requests = 0
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None or meta.udp is None:
+            return self.drop(message, "not a UDP request")
+        self.requests += 1
+        reply = PacketMeta(
+            ip=IPv4Header(src=meta.ip.dst, dst=meta.ip.src,
+                          protocol=IPPROTO_UDP),
+            udp=UdpHeader(src_port=meta.udp.dst_port,
+                          dst_port=meta.udp.src_port),
+            ingress_cycle=meta.ingress_cycle,
+        )
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return self.drop(message, "no transmit path")
+        return [self.make_message(dest, metadata=reply, data=message.data)]

@@ -1,0 +1,15 @@
+"""Reed-Solomon erasure coding (paper section VI-A).
+
+A complete GF(2^8) codec in the style of the BackBlaze encoder the
+paper uses as its CPU baseline, plus the Beehive accelerator tile that
+serves 4 KB encode requests over UDP at the measured 15 Gbps per
+instance, a round-robin front-end scheduler for scale-out, and the CPU
+baseline model for Table III.
+"""
+
+from repro.apps.reed_solomon.gf import GF256
+from repro.apps.reed_solomon.matrix import GFMatrix
+from repro.apps.reed_solomon.codec import ReedSolomonCodec
+from repro.apps.reed_solomon.tile import RsEncoderTile
+
+__all__ = ["GF256", "GFMatrix", "ReedSolomonCodec", "RsEncoderTile"]

@@ -1,0 +1,32 @@
+"""Viewstamped-replication witness acceleration (paper section VI-B).
+
+The consensus system the paper evaluates: closed-loop clients, sharded
+CPU leaders, CPU replicas, a replicated key-value store, and witnesses
+that only validate the leader and record operation order — the piece
+that moves to hardware.  Single-node fault tolerance = one leader, one
+witness, one replica per shard; the leader replies to the client after
+the witness quorum, which is what makes witness latency matter.
+
+- :mod:`repro.apps.vr.witness` — the witness protocol core, shared by
+  the CPU node model and the Beehive tile;
+- :mod:`repro.apps.vr.tile` — the hardware witness as a Beehive UDP
+  application (wire format included);
+- :mod:`repro.apps.vr.cluster` — the event-level distributed system
+  that regenerates Fig 11 and Table IV;
+- :mod:`repro.apps.vr.kv` — the replicated KV store and workload.
+"""
+
+from repro.apps.vr.kv import KvStore, KvWorkload
+from repro.apps.vr.witness import WitnessDecision, WitnessState
+from repro.apps.vr.tile import VrWitnessTile
+from repro.apps.vr.cluster import VrExperiment, VrResult
+
+__all__ = [
+    "KvStore",
+    "KvWorkload",
+    "VrExperiment",
+    "VrResult",
+    "VrWitnessTile",
+    "WitnessDecision",
+    "WitnessState",
+]

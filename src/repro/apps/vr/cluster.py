@@ -1,0 +1,388 @@
+"""The event-level VR cluster (Fig 10's experimental setup).
+
+A three-role VR configuration per shard — CPU leader, witness (CPU or
+Beehive), CPU replica — driven by closed-loop clients against the
+replicated KV store.  Leaders are single-core FIFO servers; the client
+measures end-to-end latency; witness-server energy comes from the
+calibrated power models.  This is the machinery behind Fig 11 and
+Table IV.
+
+The protocol is executed for real: op numbers, witness quorum before
+the client reply, in-order commit, replica state machines (their KV
+converges to the leader's — asserted by tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import params
+from repro.apps.vr.kv import KvOp, KvStore, KvWorkload
+from repro.apps.vr.witness import WitnessDecision, WitnessState
+from repro.energy.model import (
+    CpuEnergyModel,
+    FpgaEnergyModel,
+    TileActivity,
+)
+from repro.sim.events import EventSimulator
+from repro.sim.rng import SeededStreams
+
+
+class ServerCore:
+    """A single-core FIFO server in the event simulator."""
+
+    def __init__(self, sim: EventSimulator, rng: random.Random,
+                 jitter_s: float = 0.0, tail_prob: float = 0.0,
+                 tail_s: float = 0.0):
+        self.sim = sim
+        self.rng = rng
+        self.jitter_s = jitter_s
+        self.tail_prob = tail_prob
+        self.tail_s = tail_s
+        self._free_at = 0.0
+        self.busy_s = 0.0
+
+    def submit(self, work_s: float, callback, *args) -> None:
+        if self.jitter_s:
+            work_s += self.rng.expovariate(1.0 / self.jitter_s)
+        if self.tail_prob and self.rng.random() < self.tail_prob:
+            # A scheduler hiccup stalls the core; everything queued
+            # behind this request is delayed too.
+            work_s += self.rng.expovariate(1.0 / self.tail_s)
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + work_s
+        self.busy_s += work_s
+        self.sim.schedule_at(self._free_at, callback, *args)
+
+    def utilisation(self, elapsed_s: float) -> float:
+        return min(1.0, self.busy_s / elapsed_s) if elapsed_s else 0.0
+
+
+class _Wire:
+    """Per-link one-way delay with FIFO (non-reordering) delivery."""
+
+    def __init__(self, sim: EventSimulator, rng: random.Random):
+        self.sim = sim
+        self.rng = rng
+        self._last: dict[tuple, float] = {}
+
+    def send(self, channel: tuple, extra_s: float, callback,
+             *args) -> None:
+        delay = params.WIRE_SWITCH_ONEWAY_S + extra_s
+        arrival = self.sim.now + delay
+        arrival = max(arrival, self._last.get(channel, 0.0) + 1e-9)
+        self._last[channel] = arrival
+        self.sim.schedule_at(arrival, callback, *args)
+
+
+def _linux_cost(rng: random.Random) -> float:
+    cost = params.LINUX_STACK_ONEWAY_S + rng.expovariate(
+        1.0 / params.LINUX_STACK_JITTER_S)
+    if rng.random() < params.LINUX_SCHED_TAIL_PROB:
+        cost += rng.expovariate(1.0 / params.LINUX_SCHED_TAIL_S)
+    return cost
+
+
+def _client_side_cost(rng: random.Random) -> float:
+    """A client-side message traversal: Linux stack + thread wakeup."""
+    return _linux_cost(rng) + params.VR_CLIENT_SIDE_EXTRA_S
+
+
+class Witness:
+    """One shard's witness: CPU (queued, jittery, occasional scheduler
+    tail) or FPGA (deterministic pipeline, no queue at these rates)."""
+
+    def __init__(self, sim: EventSimulator, wire: _Wire,
+                 rng: random.Random, shard: int, kind: str):
+        if kind not in ("cpu", "fpga"):
+            raise ValueError(f"unknown witness kind {kind!r}")
+        self.sim = sim
+        self.wire = wire
+        self.rng = rng
+        self.kind = kind
+        self.state = WitnessState(shard=shard)
+        self.core = ServerCore(sim, rng) if kind == "cpu" else None
+        self.prepares = 0
+
+    def _service_s(self) -> float:
+        if self.kind == "cpu":
+            cost = params.VR_CPU_WITNESS_SERVICE_S + self.rng.expovariate(
+                1.0 / params.VR_CPU_WITNESS_JITTER_S)
+            if self.rng.random() < params.VR_CPU_WITNESS_TAIL_PROB:
+                cost += self.rng.expovariate(
+                    1.0 / params.VR_CPU_WITNESS_TAIL_S)
+            return cost
+        return params.VR_FPGA_WITNESS_SERVICE_S + self.rng.expovariate(
+            1.0 / params.VR_FPGA_WITNESS_JITTER_S)
+
+    def on_prepare(self, leader: "Leader", view: int, opnum: int,
+                   digest: bytes) -> None:
+        self.prepares += 1
+        work = self._service_s()
+
+        def done():
+            decision = self.state.handle_prepare(view, opnum, digest)
+            if decision in (WitnessDecision.ACCEPT,
+                            WitnessDecision.DUPLICATE):
+                self.wire.send(("w", self.state.shard, "l"), 0.0,
+                               leader.on_prepare_ok, opnum,
+                               self.state.view)
+
+        if self.core is not None:
+            self.core.submit(work, done)
+        else:
+            self.sim.schedule(work, done)
+
+
+class Replica:
+    """One shard's replica: executes committed ops in order."""
+
+    def __init__(self, sim: EventSimulator, rng: random.Random,
+                 shard: int):
+        self.sim = sim
+        self.core = ServerCore(sim, rng)
+        self.shard = shard
+        self.kv = KvStore()
+        self._committed: dict[int, KvOp] = {}
+        self._next_commit = 1
+
+    def on_commit(self, opnum: int, op: KvOp) -> None:
+        def done():
+            self._committed[opnum] = op
+            while self._next_commit in self._committed:
+                self.kv.execute(self._committed.pop(self._next_commit))
+                self._next_commit += 1
+
+        self.core.submit(2e-6, done)
+
+
+@dataclass
+class _PendingOp:
+    opnum: int
+    op: KvOp
+    client: "Client"
+    acks: int = 0
+    committed: bool = False
+
+
+class Leader:
+    """One shard's leader: a single core running the VR critical path."""
+
+    def __init__(self, sim: EventSimulator, wire: _Wire,
+                 rng: random.Random, shard: int,
+                 witnesses: list[Witness], replicas: list[Replica]):
+        self.sim = sim
+        self.wire = wire
+        self.rng = rng
+        self.shard = shard
+        self.witnesses = witnesses
+        self.replicas = replicas
+        self.core = ServerCore(sim, rng,
+                               jitter_s=params.VR_LEADER_JITTER_S / 3,
+                               tail_prob=params.VR_LEADER_TAIL_PROB,
+                               tail_s=params.VR_LEADER_TAIL_S)
+        self.view = 0
+        self.kv = KvStore()
+        self._opnum = 0
+        self._pending: dict[int, _PendingOp] = {}
+        self._next_execute = 1
+        self.completed = 0
+
+    @property
+    def quorum(self) -> int:
+        return len(self.witnesses)  # all witnesses must verify
+
+    def on_request(self, client: "Client", op: KvOp) -> None:
+        def ingress_done():
+            self._opnum += 1
+            pending = _PendingOp(opnum=self._opnum, op=op,
+                                 client=client)
+            self._pending[pending.opnum] = pending
+            digest = str(hash((op.kind, op.key))).encode()[:8]
+            for witness in self.witnesses:
+                self.wire.send(("l", self.shard, "w"), 0.0,
+                               witness.on_prepare, self, self.view,
+                               pending.opnum, digest)
+            for replica in self.replicas:
+                self.wire.send(("l", self.shard, "r"), 0.0,
+                               replica.on_commit, pending.opnum, op)
+
+        self.core.submit(params.VR_LEADER_INGRESS_S, ingress_done)
+
+    def on_prepare_ok(self, opnum: int, view: int) -> None:
+        def ack_done():
+            pending = self._pending.get(opnum)
+            if pending is None or view != self.view:
+                return
+            pending.acks += 1
+            if pending.acks >= self.quorum and not pending.committed:
+                pending.committed = True
+                self._execute_ready()
+
+        self.core.submit(params.VR_LEADER_ACK_S, ack_done)
+
+    def _execute_ready(self) -> None:
+        """Commit in op-number order (VR's strict ordering)."""
+        while True:
+            pending = self._pending.get(self._next_execute)
+            if pending is None or not pending.committed:
+                return
+            del self._pending[self._next_execute]
+            self._next_execute += 1
+            self._commit(pending)
+
+    def _commit(self, pending: _PendingOp) -> None:
+        def commit_done():
+            result = self.kv.execute(pending.op)
+            self.completed += 1
+            self.wire.send(("l", self.shard, "c"), 0.0,
+                           pending.client.on_reply, result)
+
+        self.core.submit(params.VR_LEADER_COMMIT_S, commit_done)
+
+
+class Client:
+    """A closed-loop client: one outstanding request at a time."""
+
+    def __init__(self, sim: EventSimulator, wire: _Wire,
+                 rng: random.Random, workload: KvWorkload,
+                 leaders: list[Leader]):
+        self.sim = sim
+        self.wire = wire
+        self.rng = rng
+        self.workload = workload
+        self.leaders = leaders
+        self.latencies: list[float] = []
+        self._sent_at = 0.0
+
+    def start(self) -> None:
+        self._send_next()
+
+    def _send_next(self) -> None:
+        shard, op = self.workload.next_op()
+        leader = self.leaders[shard]
+        self._sent_at = self.sim.now
+        self.wire.send(("c", id(self), shard),
+                       _client_side_cost(self.rng),
+                       leader.on_request, self, op)
+
+    def on_reply(self, result) -> None:
+        # Receive-side client cost lands on the latency too.
+        done_at = self.sim.now + _client_side_cost(self.rng)
+        self.sim.schedule_at(done_at, self._complete)
+
+    def _complete(self) -> None:
+        self.latencies.append(self.sim.now - self._sent_at)
+        # Client application work before the next request goes out
+        # (not part of the measured operation latency).
+        self.sim.schedule(params.VR_CLIENT_APP_S, self._send_next)
+
+
+@dataclass
+class VrResult:
+    shards: int
+    witness_kind: str
+    n_clients: int
+    duration_s: float
+    throughput_kops: float
+    median_latency_us: float
+    p99_latency_us: float
+    witness_power_w: float
+    energy_mj_per_op: float
+    latencies_us: list = field(repr=False, default_factory=list)
+    cluster: "VrExperiment | None" = field(repr=False, default=None)
+
+
+class VrExperiment:
+    """Builds and runs one (shards, witness kind, clients) point."""
+
+    def __init__(self, shards: int, witness_kind: str, n_clients: int,
+                 seed: int = 0xBEE5):
+        self.shards = shards
+        self.witness_kind = witness_kind
+        self.n_clients = n_clients
+        self.sim = EventSimulator()
+        streams = SeededStreams(seed)
+        self.wire = _Wire(self.sim, streams.stream("wire"))
+        self.witnesses = [
+            Witness(self.sim, self.wire, streams.stream(f"wit{s}"), s,
+                    witness_kind)
+            for s in range(shards)
+        ]
+        self.replicas = [
+            Replica(self.sim, streams.stream(f"rep{s}"), s)
+            for s in range(shards)
+        ]
+        self.leaders = [
+            Leader(self.sim, self.wire, streams.stream(f"lead{s}"), s,
+                   [self.witnesses[s]], [self.replicas[s]])
+            for s in range(shards)
+        ]
+        workload_rng = streams.stream("workload")
+        self.clients = [
+            Client(self.sim, self.wire,
+                   streams.stream(f"client{i}"),
+                   KvWorkload(workload_rng, shards=shards),
+                   self.leaders)
+            for i in range(n_clients)
+        ]
+
+    def run(self, duration_s: float = 0.5,
+            warmup_s: float = 0.05) -> VrResult:
+        for client in self.clients:
+            client.start()
+        self.sim.run_until(warmup_s)
+        baseline = [len(c.latencies) for c in self.clients]
+        for client in self.clients:
+            client.latencies.clear()
+        self.sim.run_until(warmup_s + duration_s)
+        latencies = sorted(
+            lat for client in self.clients for lat in client.latencies
+        )
+        completed = len(latencies)
+        throughput = completed / duration_s
+        median = latencies[completed // 2] if latencies else 0.0
+        p99 = latencies[int(completed * 0.99)] if latencies else 0.0
+        power = self._witness_power(warmup_s + duration_s)
+        energy = power / throughput * 1e3 if throughput else 0.0
+        return VrResult(
+            shards=self.shards,
+            witness_kind=self.witness_kind,
+            n_clients=self.n_clients,
+            duration_s=duration_s,
+            throughput_kops=throughput / 1e3,
+            median_latency_us=median * 1e6,
+            p99_latency_us=p99 * 1e6,
+            witness_power_w=power,
+            energy_mj_per_op=energy,
+            latencies_us=[lat * 1e6 for lat in latencies],
+            cluster=self,
+        )
+
+    def _witness_power(self, elapsed_s: float) -> float:
+        if self.witness_kind == "cpu":
+            model = CpuEnergyModel(params.VR_CPU_IDLE_W,
+                                   params.VR_CPU_CORE_W)
+            utilisation = sum(
+                witness.core.utilisation(elapsed_s)
+                for witness in self.witnesses
+            )
+            return model.power_w(utilisation)
+        # FPGA witness appliance: the UDP stack (6 tiles + empties)
+        # plus one witness tile per shard.
+        model = FpgaEnergyModel()
+        stack_util = min(1.0, sum(w.prepares for w in self.witnesses)
+                         * 64 * 8 / (elapsed_s * 100e9))
+        tiles = [TileActivity(f"stack{i}", stack_util)
+                 for i in range(6)]
+        per_witness_util = [
+            min(1.0, w.prepares * params.VR_FPGA_WITNESS_SERVICE_S
+                / elapsed_s)
+            for w in self.witnesses
+        ]
+        tiles.extend(TileActivity(f"witness{s}", util)
+                     for s, util in enumerate(per_witness_util))
+        tiles.extend(TileActivity(f"empty{i}", 0.0)
+                     for i in range(12 - len(tiles)))
+        return model.power_w(tiles)

@@ -1,0 +1,78 @@
+"""The replicated key-value store and its workload generator.
+
+Workload per the paper (section VII-F): 64-byte keys and values, 90%
+reads / 10% writes, uniform key distribution, key space sharded with a
+leader + witness + replica set per slice.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import params
+
+
+class KvStore:
+    """The application state machine each replica group maintains."""
+
+    def __init__(self):
+        self._data: dict[bytes, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def execute(self, op: "KvOp") -> bytes | None:
+        if op.kind == "get":
+            self.reads += 1
+            return self._data.get(op.key)
+        if op.kind == "put":
+            self.writes += 1
+            self._data[op.key] = op.value
+            return op.value
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def snapshot(self) -> dict[bytes, bytes]:
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class KvOp:
+    kind: str  # "get" | "put"
+    key: bytes
+    value: bytes | None = None
+
+
+class KvWorkload:
+    """Uniform-key, read-mostly operation generator."""
+
+    def __init__(self, rng: random.Random,
+                 n_keys: int = 10_000,
+                 key_bytes: int = params.VR_KEY_BYTES,
+                 value_bytes: int = params.VR_VALUE_BYTES,
+                 read_fraction: float = params.VR_READ_FRACTION,
+                 shards: int = 1):
+        self.rng = rng
+        self.n_keys = n_keys
+        self.key_bytes = key_bytes
+        self.value_bytes = value_bytes
+        self.read_fraction = read_fraction
+        self.shards = shards
+
+    def _key(self, index: int) -> bytes:
+        return str(index).encode().rjust(self.key_bytes, b"k")
+
+    def shard_of(self, key: bytes) -> int:
+        return int(key[-8:].strip(b"k") or b"0") % self.shards
+
+    def next_op(self) -> tuple[int, KvOp]:
+        """(shard, operation) for one client request."""
+        index = self.rng.randrange(self.n_keys)
+        key = self._key(index)
+        shard = self.shard_of(key)
+        if self.rng.random() < self.read_fraction:
+            return shard, KvOp(kind="get", key=key)
+        value = self.rng.randbytes(self.value_bytes)
+        return shard, KvOp(kind="put", key=key, value=value)

@@ -1,0 +1,106 @@
+"""The Beehive VR witness tile and its wire format.
+
+Witnesses are UDP applications (VR does not assume reliable delivery).
+Each shard gets its own tile — the witness is stateful, so "requests
+for a shard must always go to the same tile"; distribution is by
+destination port in the UDP RX table, one port per shard.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.apps.vr.witness import WitnessDecision, WitnessState
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.packet.ipv4 import IPPROTO_UDP, IPv4Header
+from repro.packet.udp import UdpHeader
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+
+MSG_PREPARE = 1
+MSG_PREPARE_OK = 2
+MSG_NACK = 3
+
+_WIRE = struct.Struct("!BIQH8s")
+
+
+@dataclass(frozen=True)
+class PrepareWire:
+    """The on-the-wire Prepare / PrepareOK encoding (23 bytes)."""
+
+    msg_type: int
+    view: int
+    opnum: int
+    shard: int
+    digest: bytes = b"\x00" * 8
+
+    def pack(self) -> bytes:
+        return _WIRE.pack(self.msg_type, self.view, self.opnum,
+                          self.shard, self.digest)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "PrepareWire":
+        if len(data) < _WIRE.size:
+            raise ValueError(f"short VR message: {len(data)}")
+        msg_type, view, opnum, shard, digest = _WIRE.unpack_from(data)
+        return cls(msg_type=msg_type, view=view, opnum=opnum,
+                   shard=shard, digest=digest)
+
+
+class VrWitnessTile(Tile):
+    """One shard's hardware witness."""
+
+    KIND = "vr_witness"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 shard: int = 0, **kwargs):
+        # The witness state machine is small: a prepare occupies the
+        # engine well under the generic protocol-tile occupancy.
+        kwargs.setdefault("occupancy", 10)
+        super().__init__(name, mesh, coord, **kwargs)
+        self.state = WitnessState(shard=shard)
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self.malformed = 0
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None or meta.udp is None:
+            return self.drop(message, "not a UDP request")
+        try:
+            wire = PrepareWire.unpack(message.data)
+        except ValueError:
+            self.malformed += 1
+            return self.drop(message, "malformed VR message")
+        if wire.msg_type != MSG_PREPARE or \
+                wire.shard != self.state.shard:
+            self.malformed += 1
+            return self.drop(message, "unexpected VR message")
+        decision = self.state.handle_prepare(wire.view, wire.opnum,
+                                             wire.digest)
+        if decision in (WitnessDecision.ACCEPT,
+                        WitnessDecision.DUPLICATE):
+            reply_type = MSG_PREPARE_OK
+        else:
+            reply_type = MSG_NACK
+        reply = PrepareWire(
+            msg_type=reply_type,
+            view=self.state.view,
+            opnum=wire.opnum,
+            shard=self.state.shard,
+            digest=wire.digest,
+        )
+        reply_meta = PacketMeta(
+            ip=IPv4Header(src=meta.ip.dst, dst=meta.ip.src,
+                          protocol=IPPROTO_UDP),
+            udp=UdpHeader(src_port=meta.udp.dst_port,
+                          dst_port=meta.udp.src_port),
+            ingress_cycle=meta.ingress_cycle,
+        )
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return self.drop(message, "no transmit path")
+        return [self.make_message(dest, metadata=reply_meta,
+                                  data=reply.pack())]

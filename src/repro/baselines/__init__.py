@@ -1,0 +1,33 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.pipelined` — the fixed-pipeline UDP stack of
+  Fig 8b: protocol engines wired directly, no NoC messages;
+- :mod:`repro.baselines.calm` — the PANIC-style crossbar framework and
+  the CALM UDP echo built in it (with PANIC's 8-endpoint limit);
+- :mod:`repro.baselines.hoststacks` — analytic models of the software
+  stacks (Linux, F-Stack/DPDK, Demikernel) and the CPU-attached
+  accelerator (Enso PCIe trampoline) for Table I / Fig 7 / Fig 9.
+
+(The CPU Reed-Solomon and CPU witness baselines live with their
+applications in :mod:`repro.apps`.)
+"""
+
+from repro.baselines.pipelined import PipelinedUdpEchoDesign
+from repro.baselines.calm import CalmUdpEcho, Crossbar, CrossbarEndpoint
+from repro.baselines.hoststacks import (
+    RttModel,
+    demikernel_udp_goodput_gbps,
+    linux_tcp_goodput_gbps,
+    table1_configs,
+)
+
+__all__ = [
+    "CalmUdpEcho",
+    "Crossbar",
+    "CrossbarEndpoint",
+    "PipelinedUdpEchoDesign",
+    "RttModel",
+    "demikernel_udp_goodput_gbps",
+    "linux_tcp_goodput_gbps",
+    "table1_configs",
+]

@@ -1,0 +1,45 @@
+"""Design-configuration tooling (paper section V-G).
+
+The paper drives its Verilog generation and deadlock analysis from an
+XML design file: dimensions plus an element per NoC tile endpoint with
+a name, X/Y coordinates, and optional next-hop information.  This
+package is the same tooling for the simulated world:
+
+- :mod:`repro.config.schema` — the design description objects;
+- :mod:`repro.config.xmlio` — XML parsing and pretty-printing;
+- :mod:`repro.config.validate` — topology soundness checks (duplicate
+  or out-of-range coordinates, unknown destinations) and automatic
+  empty-tile fill for the mesh rectangle;
+- :mod:`repro.config.generate` — "top-level wiring" generation: builds
+  the runnable design (mesh + tiles + next-hop tables + deadlock
+  check) and emits the equivalent top-level wiring text whose line
+  counts Table VI reports;
+- :mod:`repro.config.loc` — the lines-of-code accounting for Table VI.
+"""
+
+from repro.config.schema import ChainSpec, DesignSpec, DestSpec, TileSpec
+from repro.config.xmlio import design_from_xml, design_to_xml
+from repro.config.validate import ValidationError, validate
+from repro.config.generate import (
+    GeneratedDesign,
+    build_design,
+    generate_top_level,
+    register_tile_type,
+)
+from repro.config.loc import instantiation_loc
+
+__all__ = [
+    "ChainSpec",
+    "DesignSpec",
+    "DestSpec",
+    "GeneratedDesign",
+    "TileSpec",
+    "ValidationError",
+    "build_design",
+    "design_from_xml",
+    "design_to_xml",
+    "generate_top_level",
+    "instantiation_loc",
+    "register_tile_type",
+    "validate",
+]

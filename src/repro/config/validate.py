@@ -1,0 +1,80 @@
+"""Topology soundness checks (paper section V-G).
+
+"We check if two tiles have the same X and Y coordinates, and all NoC
+coordinates are within the expected dimensions of the design.  Because
+a 2D mesh must be a rectangle, this also gives us the opportunity to
+automatically generate empty tiles."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.schema import DesignSpec
+
+
+class ValidationError(ValueError):
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+@dataclass
+class ValidationReport:
+    empty_coords: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+
+
+def validate(design: DesignSpec) -> ValidationReport:
+    """Raise :class:`ValidationError` on a broken design; otherwise
+    return the report (including auto-generated empty-tile coords)."""
+    problems: list[str] = []
+    if design.width < 1 or design.height < 1:
+        problems.append(
+            f"bad dimensions {design.width}x{design.height}"
+        )
+    seen_names: set[str] = set()
+    seen_coords: dict = {}
+    for tile in design.tiles:
+        if tile.name in seen_names:
+            problems.append(f"duplicate tile name {tile.name!r}")
+        seen_names.add(tile.name)
+        if not (0 <= tile.x < design.width
+                and 0 <= tile.y < design.height):
+            problems.append(
+                f"tile {tile.name!r} at {tile.coord} is outside the "
+                f"{design.width}x{design.height} mesh"
+            )
+        elif tile.coord in seen_coords:
+            problems.append(
+                f"tiles {seen_coords[tile.coord]!r} and {tile.name!r} "
+                f"share coordinates {tile.coord}"
+            )
+        else:
+            seen_coords[tile.coord] = tile.name
+        for dest in tile.dests:
+            for target in dest.targets:
+                if target not in {t.name for t in design.tiles}:
+                    problems.append(
+                        f"tile {tile.name!r} routes to unknown tile "
+                        f"{target!r}"
+                    )
+            if not dest.targets:
+                problems.append(
+                    f"tile {tile.name!r} has a destination with no "
+                    "targets"
+                )
+    for chain in design.chains:
+        for name in chain.tiles:
+            if name not in seen_names:
+                problems.append(
+                    f"chain references unknown tile {name!r}"
+                )
+    if problems:
+        raise ValidationError(problems)
+    report = ValidationReport(empty_coords=design.empty_coords())
+    if not design.chains:
+        report.warnings.append(
+            "no chains declared: deadlock analysis has nothing to check"
+        )
+    return report

@@ -1,0 +1,38 @@
+"""The control plane (paper sections IV-F, V-E).
+
+Beehive uses a second, lower-width, message-based NoC for control
+rather than a dedicated bus: configuration must ride a reliable
+transport, reach any tile without ad-hoc wires, and never contend with
+long data-plane chains in the deadlock dependency graph.
+
+- :class:`repro.control.plane.ControlPlane` — the separate control NoC
+  plus per-tile endpoints.
+- :class:`repro.control.controller.InternalControllerTile` — the
+  data-plane tile that terminates the external controller's RPC (over
+  UDP/TCP), issues table updates over the control NoC, and confirms.
+"""
+
+from repro.control.messages import (
+    ControlAck,
+    CounterRead,
+    CounterValue,
+    TableUpdate,
+)
+from repro.control.plane import ControlEndpoint, ControlPlane
+from repro.control.controller import (
+    InternalControllerTile,
+    decode_control_rpc,
+    encode_control_rpc,
+)
+
+__all__ = [
+    "ControlAck",
+    "ControlEndpoint",
+    "ControlPlane",
+    "CounterRead",
+    "CounterValue",
+    "InternalControllerTile",
+    "TableUpdate",
+    "decode_control_rpc",
+    "encode_control_rpc",
+]

@@ -1,0 +1,40 @@
+"""Control-plane NoC message types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TableUpdate:
+    """Rewrite an entry in a tile's table (NAT mapping, IP-in-IP
+    endpoint, or a protocol tile's next-hop hash table)."""
+
+    table: str
+    key: object
+    value: object
+    reply_to: tuple | None = None
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class ControlAck:
+    ok: bool
+    tag: object = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CounterRead:
+    """Telemetry: read a named statistic from a tile."""
+
+    name: str
+    reply_to: tuple
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class CounterValue:
+    name: str
+    value: object
+    tag: object = None

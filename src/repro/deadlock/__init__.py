@@ -1,0 +1,30 @@
+"""Compile-time deadlock analysis (paper sections IV-E, V-G).
+
+Routing-level deadlock is prevented by dimension-ordered routing; the
+remaining hazard is message-level deadlock across chained tiles: a
+streaming chain holds its earlier NoC links while acquiring later ones,
+so if any link must be *re*-acquired (Fig 5a) the chain waits on itself.
+
+:mod:`repro.deadlock.analysis` builds the resource dependency graph
+from a design's declared message chains and reports any cycle with a
+witness.  :mod:`repro.deadlock.demo` contains cut-through relay tiles
+that make the Fig 5a deadlock actually happen in the cycle simulator
+(and Fig 5b run clean) — the runtime counterpart of the static check.
+"""
+
+from repro.deadlock.analysis import (
+    DeadlockError,
+    analyze_chains,
+    assert_deadlock_free,
+    chain_link_sequence,
+)
+from repro.deadlock.demo import CutThroughTile, build_fig5_layout
+
+__all__ = [
+    "CutThroughTile",
+    "DeadlockError",
+    "analyze_chains",
+    "assert_deadlock_free",
+    "build_fig5_layout",
+    "chain_link_sequence",
+]

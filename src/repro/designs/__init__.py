@@ -1,0 +1,34 @@
+"""Prebuilt Beehive designs used by the evaluation.
+
+Each design couples a mesh, a set of tiles, the packet-level next-hop
+tables, and the declared message chains that the static deadlock
+analyzer checks at construction time.
+"""
+
+from repro.designs.harness import FrameSink, FrameSource, GoodputMeter
+from repro.designs.udp_stack import LoggedUdpEchoDesign, UdpEchoDesign
+from repro.designs.virt_stack import IpInIpEchoDesign, NatEchoDesign
+from repro.designs.managed_stack import ManagedNatEchoDesign
+from repro.designs.multi_stack import MultiStackDesign
+from repro.designs.rs_design import RsDesign
+from repro.designs.scaled_echo import ScaledEchoDesign
+from repro.designs.tcp_stack import TcpServerDesign
+from repro.designs.vr_design import VrWitnessDesign
+from repro.designs.vxlan_stack import VxlanEchoDesign
+
+__all__ = [
+    "FrameSink",
+    "FrameSource",
+    "GoodputMeter",
+    "IpInIpEchoDesign",
+    "LoggedUdpEchoDesign",
+    "ManagedNatEchoDesign",
+    "MultiStackDesign",
+    "NatEchoDesign",
+    "RsDesign",
+    "ScaledEchoDesign",
+    "TcpServerDesign",
+    "UdpEchoDesign",
+    "VrWitnessDesign",
+    "VxlanEchoDesign",
+]

@@ -1,0 +1,147 @@
+"""Traffic harness for cycle-level experiments.
+
+``FrameSource`` plays the role of the paper's FPGA packet generator
+(section VII-C: "we run a packet generator on another U200, because the
+client machines cannot generate enough traffic to saturate the FPGA"):
+it injects frames into a design's ingress at a configurable byte rate.
+``FrameSink``/``GoodputMeter`` collect egress frames and compute
+goodput the way the paper plots it (UDP payload bytes per second).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro import params
+from repro.packet.builder import parse_frame
+
+
+class FrameSource:
+    """Paced frame injection (a clocked component).
+
+    ``frame_factory(i)`` returns the i-th frame to send.  ``rate`` is
+    the injection rate in bytes/cycle: 50.0 models the 100 GbE wire at
+    250 MHz; ``None`` saturates (injects a new frame the moment the
+    ingress can conceptually accept one, modelling the paper's
+    in-simulation 128 Gbps mode).  Injection pacing includes per-frame
+    Ethernet wire overhead, like a real generator.
+    """
+
+    def __init__(self, push: Callable[[bytes, int], None],
+                 frame_factory: Callable[[int], bytes],
+                 rate: float | None = 50.0,
+                 count: int | None = None,
+                 backlog: Callable[[], int] | None = None,
+                 max_backlog: int = 8):
+        self.push = push
+        self.frame_factory = frame_factory
+        self.rate = rate
+        self.count = count
+        self.backlog = backlog
+        self.max_backlog = max_backlog
+        self.sent = 0
+        self.bytes_sent = 0
+        self._next_free = 0
+
+    @property
+    def done(self) -> bool:
+        return self.count is not None and self.sent >= self.count
+
+    def step(self, cycle: int) -> None:
+        if self.done or cycle < self._next_free:
+            return
+        if self.backlog is not None and self.backlog() >= self.max_backlog:
+            return
+        frame = self.frame_factory(self.sent)
+        wire_bytes = len(frame) + params.ETHERNET_OVERHEAD_BYTES
+        if self.rate is not None:
+            arrival = cycle + math.ceil(len(frame) / self.rate)
+            self._next_free = cycle + math.ceil(wire_bytes / self.rate)
+        else:
+            arrival = cycle + 1
+            self._next_free = cycle + 1
+        self.push(frame, arrival)
+        self.sent += 1
+        self.bytes_sent += len(frame)
+
+    def commit(self) -> None:
+        pass
+
+
+class FrameSink:
+    """Drains an Ethernet TX tile's MAC output (a clocked component)."""
+
+    def __init__(self, eth_tx, keep_frames: bool = True):
+        self.eth_tx = eth_tx
+        self.keep_frames = keep_frames
+        self.frames: list[tuple[bytes, int]] = []
+        self.count = 0
+        self.frame_bytes = 0
+        self.payload_bytes = 0
+        self.first_cycle: int | None = None
+        self.last_cycle: int | None = None
+
+    def step(self, cycle: int) -> None:
+        while self.eth_tx.frames_out:
+            frame, emit_cycle = self.eth_tx.frames_out.popleft()
+            if emit_cycle > cycle:
+                self.eth_tx.frames_out.appendleft((frame, emit_cycle))
+                break
+            self.count += 1
+            self.frame_bytes += len(frame)
+            try:
+                parsed = parse_frame(frame)
+                self.payload_bytes += len(parsed.payload)
+            except ValueError:
+                pass
+            if self.first_cycle is None:
+                self.first_cycle = emit_cycle
+            self.last_cycle = emit_cycle
+            if self.keep_frames:
+                self.frames.append((frame, emit_cycle))
+
+    def commit(self) -> None:
+        pass
+
+
+class GoodputMeter:
+    """Computes goodput the way Fig 7 plots it."""
+
+    def __init__(self, sink: FrameSink, warmup_frames: int = 0):
+        self.sink = sink
+        self.warmup_frames = warmup_frames
+        self._base_count = 0
+        self._base_payload = 0
+        self._base_cycle = None
+
+    def maybe_start(self) -> None:
+        """Begin measuring once the warmup frames have egressed."""
+        if self._base_cycle is None and \
+                self.sink.count >= self.warmup_frames:
+            self._base_count = self.sink.count
+            self._base_payload = self.sink.payload_bytes
+            self._base_cycle = self.sink.last_cycle
+
+    @property
+    def frames(self) -> int:
+        return self.sink.count - self._base_count
+
+    def goodput_gbps(self) -> float:
+        """Payload goodput over the measured window."""
+        if self._base_cycle is None or self.sink.last_cycle is None:
+            return 0.0
+        cycles = self.sink.last_cycle - self._base_cycle
+        if cycles <= 0:
+            return 0.0
+        payload = self.sink.payload_bytes - self._base_payload
+        return payload * 8 / (cycles * params.CYCLE_TIME_S) / 1e9
+
+    def kreqs(self) -> float:
+        """Thousands of requests (frames) per second over the window."""
+        if self._base_cycle is None or self.sink.last_cycle is None:
+            return 0.0
+        cycles = self.sink.last_cycle - self._base_cycle
+        if cycles <= 0:
+            return 0.0
+        return self.frames / (cycles * params.CYCLE_TIME_S) / 1e3

@@ -1,0 +1,113 @@
+"""The section VII-I resource-scalability design: a UDP stack plus up
+to 22 replicated echo application tiles — 28 tiles total, the largest
+configuration that closes timing on the U200.
+
+Layout discipline (a generalisation of Fig 5b's lesson): the receive
+tiles sit in row 0 and reach applications east-then-south; replies
+travel west-then-north into the transmit tiles in row 1.  Under XY
+routing those link sets are disjoint, so any number of application
+tiles compose deadlock-free — which the constructor verifies for all
+declared chains.
+"""
+
+from __future__ import annotations
+
+from repro.apps.echo import UdpEchoAppTile
+from repro.deadlock.analysis import assert_deadlock_free
+from repro.noc.mesh import Mesh
+from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
+from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
+from repro.sim.kernel import CycleSimulator
+from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
+from repro.tiles.ip import IpRxTile, IpTxTile
+from repro.tiles.udp import UdpRxTile, UdpTxTile
+
+SERVER_MAC = MacAddress("02:be:e0:00:00:01")
+SERVER_IP = IPv4Address("10.0.0.10")
+
+
+class ScaledEchoDesign:
+    """A UDP stack with ``n_apps`` (1-22) echo tiles on a 7x4 mesh."""
+
+    WIDTH = 7
+    HEIGHT = 4
+    MAX_APPS = 22
+
+    def __init__(self, n_apps: int = 22, udp_port: int = 7,
+                 line_rate_bytes_per_cycle: float | None = None):
+        if not 1 <= n_apps <= self.MAX_APPS:
+            raise ValueError(
+                f"this layout hosts 1-{self.MAX_APPS} app tiles"
+            )
+        self.n_apps = n_apps
+        self.udp_port = udp_port
+        self.sim = CycleSimulator()
+        self.mesh = Mesh(self.WIDTH, self.HEIGHT)
+
+        self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
+                                     my_mac=SERVER_MAC)
+        self.ip_rx = IpRxTile("ip_rx", self.mesh, (1, 0),
+                              my_ip=SERVER_IP)
+        self.udp_rx = UdpRxTile("udp_rx", self.mesh, (2, 0))
+        self.eth_tx = EthernetTxTile(
+            "eth_tx", self.mesh, (0, 1), my_mac=SERVER_MAC,
+            line_rate_bytes_per_cycle=line_rate_bytes_per_cycle,
+        )
+        self.ip_tx = IpTxTile("ip_tx", self.mesh, (1, 1))
+        self.udp_tx = UdpTxTile("udp_tx", self.mesh, (2, 1))
+
+        app_coords = [
+            (x, y)
+            for y in range(self.HEIGHT)
+            for x in range(self.WIDTH)
+            if x > 2 or y > 1  # everything right of / below the stack
+        ]
+        self.apps = [
+            UdpEchoAppTile(f"app{i}", self.mesh, app_coords[i])
+            for i in range(n_apps)
+        ]
+        self.tiles = [self.eth_rx, self.ip_rx, self.udp_rx,
+                      self.eth_tx, self.ip_tx, self.udp_tx,
+                      *self.apps]
+
+        self.eth_rx.next_hop.set_entry(ETHERTYPE_IPV4, self.ip_rx.coord)
+        self.ip_rx.next_hop.set_entry(IPPROTO_UDP, self.udp_rx.coord)
+        # One port, N replicas: the flow-hash table spreads clients.
+        self.udp_rx.next_hop.set_entry(
+            udp_port, [app.coord for app in self.apps]
+        )
+        for app in self.apps:
+            app.next_hop.set_entry(app.DEFAULT, self.udp_tx.coord)
+        self.udp_tx.next_hop.set_entry(self.udp_tx.DEFAULT,
+                                       self.ip_tx.coord)
+        self.ip_tx.next_hop.set_entry(self.ip_tx.DEFAULT,
+                                      self.eth_tx.coord)
+
+        self.mesh.register(self.sim)
+        self.sim.add_all(self.tiles)
+
+        self.chains = [
+            ["eth_rx", "ip_rx", "udp_rx", app.name,
+             "udp_tx", "ip_tx", "eth_tx"]
+            for app in self.apps
+        ]
+        self.tile_coords = {t.name: t.coord for t in self.tiles}
+        assert_deadlock_free(self.chains, self.tile_coords)
+
+    @property
+    def total_tiles(self) -> int:
+        return len(self.tiles)
+
+    def add_client(self, ip: IPv4Address, mac: MacAddress) -> None:
+        self.eth_tx.add_neighbor(ip, mac)
+
+    def inject(self, frame: bytes, cycle: int) -> None:
+        self.eth_rx.push_frame(frame, cycle)
+
+    @property
+    def server_ip(self) -> IPv4Address:
+        return SERVER_IP
+
+    @property
+    def server_mac(self) -> MacAddress:
+        return SERVER_MAC

@@ -1,0 +1,16 @@
+"""Energy models (paper section VII-A).
+
+The paper reads RAPL counters on the CPU (CPU plane only) and the
+Alveo CMS registers on the FPGA, polling every second and integrating
+over the benchmark window.  We substitute calibrated power models
+integrated over simulated time; the constants and the Table III/IV
+back-fits they come from are documented in :mod:`repro.params`.
+"""
+
+from repro.energy.model import (
+    CpuEnergyModel,
+    FpgaEnergyModel,
+    TileActivity,
+)
+
+__all__ = ["CpuEnergyModel", "FpgaEnergyModel", "TileActivity"]

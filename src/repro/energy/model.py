@@ -1,0 +1,81 @@
+"""CPU (RAPL-like) and FPGA (CMS-like) power/energy models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import params
+
+
+class CpuEnergyModel:
+    """Socket power = baseline + marginal power x core utilisation.
+
+    ``utilisation`` is total busy-core equivalents (2.0 = two cores
+    fully busy).  Busy-polling cores count as fully busy regardless of
+    useful work, which is what makes kernel-bypass stacks power-hungry
+    at low load.
+    """
+
+    def __init__(self, idle_w: float, core_w: float):
+        self.idle_w = idle_w
+        self.core_w = core_w
+
+    def power_w(self, utilisation: float) -> float:
+        if utilisation < 0:
+            raise ValueError("utilisation must be >= 0")
+        return self.idle_w + self.core_w * utilisation
+
+    def energy_j(self, utilisation: float, seconds: float) -> float:
+        return self.power_w(utilisation) * seconds
+
+    def mj_per_op(self, utilisation: float, ops_per_s: float) -> float:
+        if ops_per_s <= 0:
+            raise ValueError("ops_per_s must be positive")
+        return self.power_w(utilisation) / ops_per_s * 1e3
+
+
+@dataclass(frozen=True)
+class TileActivity:
+    """One tile's contribution to FPGA power: present + how busy."""
+
+    name: str
+    utilisation: float  # 0..1
+
+
+class FpgaEnergyModel:
+    """Board power = static + per-tile idle + utilisation-scaled
+    dynamic power, mirroring what the CMS registers report."""
+
+    def __init__(self,
+                 static_w: float = params.FPGA_STATIC_W,
+                 tile_idle_w: float = params.FPGA_TILE_IDLE_W,
+                 tile_active_w: float = params.FPGA_TILE_ACTIVE_W):
+        self.static_w = static_w
+        self.tile_idle_w = tile_idle_w
+        self.tile_active_w = tile_active_w
+
+    def power_w(self, tiles: list[TileActivity]) -> float:
+        power = self.static_w
+        for tile in tiles:
+            if not 0.0 <= tile.utilisation <= 1.0:
+                raise ValueError(
+                    f"tile {tile.name!r} utilisation "
+                    f"{tile.utilisation} outside [0, 1]"
+                )
+            power += self.tile_idle_w
+            power += self.tile_active_w * tile.utilisation
+        return power
+
+    def mj_per_op(self, tiles: list[TileActivity],
+                  ops_per_s: float) -> float:
+        if ops_per_s <= 0:
+            raise ValueError("ops_per_s must be positive")
+        return self.power_w(tiles) / ops_per_s * 1e3
+
+
+def rs_cpu_model() -> CpuEnergyModel:
+    return CpuEnergyModel(params.RS_CPU_IDLE_W, params.RS_CPU_CORE_W)
+
+
+def vr_cpu_model() -> CpuEnergyModel:
+    return CpuEnergyModel(params.VR_CPU_IDLE_W, params.VR_CPU_CORE_W)

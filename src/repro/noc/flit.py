@@ -1,0 +1,56 @@
+"""Flits — the unit the NoC moves.
+
+A NoC message is one header flit followed by body flits (metadata flits
+carrying parsed packet-header fields, then data flits carrying payload).
+Only the header flit carries routing information; body flits follow the
+wormhole path their header opened.  Flits are 512 bits (64 bytes) wide,
+and the top 64 bits of the header flit are the original OpenPiton header
+(destination, source, length), which is why the paper could reuse the
+OpenPiton routers unmodified.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.params import FLIT_BYTES
+
+_flit_counter = itertools.count()
+
+
+class FlitKind(enum.Enum):
+    HEADER = "header"
+    METADATA = "metadata"
+    DATA = "data"
+
+
+@dataclass(slots=True)
+class Flit:
+    """One flit.  ``payload`` is bytes for DATA flits, an arbitrary
+    metadata object for METADATA flits, and routing info for HEADER
+    flits (already held in the dedicated fields)."""
+
+    kind: FlitKind
+    is_head: bool
+    is_tail: bool
+    dst: tuple[int, int]
+    src: tuple[int, int]
+    msg_id: int
+    payload: object = None
+    seq: int = field(default_factory=lambda: next(_flit_counter))
+
+    def __post_init__(self):
+        if self.kind == FlitKind.DATA and self.payload is not None:
+            if not isinstance(self.payload, (bytes, bytearray, memoryview)):
+                raise TypeError("DATA flit payload must be bytes-like")
+            if len(self.payload) > FLIT_BYTES:
+                raise ValueError(
+                    f"DATA flit payload exceeds {FLIT_BYTES} bytes"
+                )
+
+    def __repr__(self) -> str:
+        marks = ("H" if self.is_head else "") + ("T" if self.is_tail else "")
+        return (f"Flit({self.kind.value}{marks} msg={self.msg_id} "
+                f"{self.src}->{self.dst})")

@@ -1,0 +1,155 @@
+"""2D-mesh construction and tile attachment points.
+
+``Mesh`` instantiates a width x height grid of routers and wires
+neighbouring ports together.  ``LocalPort`` is the tile-side attachment:
+an injection queue into the router's local input and an ejection FIFO
+the router drains into, plus helpers that enforce wormhole contiguity
+(a tile must finish injecting one message before starting another).
+"""
+
+from __future__ import annotations
+
+from repro.noc.flit import Flit
+from repro.noc.message import MessageAssembler, NocMessage
+from repro.noc.router import Router
+from repro.noc.routing import Port
+from repro.params import ROUTER_INPUT_FIFO_FLITS
+from repro.sim.kernel import CycleSimulator, StagedFifo
+
+
+class LocalPort:
+    """A tile's window onto its router.
+
+    Injection: ``send(message)`` queues a whole message; each cycle the
+    port streams one flit into the router's local input FIFO (the same
+    one-flit-per-cycle discipline as a hardware injection port).
+
+    Ejection: the router pushes flits into ``eject_fifo``; ``receive()``
+    pops one flit per call and returns a completed message on its tail.
+
+    ``LocalPort`` is a clocked component — add it to the simulator (the
+    tile framework does this automatically).
+    """
+
+    def __init__(self, router: Router, eject_depth: int = 4):
+        self.router = router
+        self.coord = router.coord
+        self.eject_fifo = StagedFifo(
+            eject_depth, name=f"{router.name}.eject"
+        )
+        router.connect_output(Port.LOCAL, self.eject_fifo)
+        self._assembler = MessageAssembler()
+        self._pending_flits: list[Flit] = []
+        self._send_queue: list[NocMessage] = []
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.flits_injected = 0
+
+    # -- transmit side ------------------------------------------------------
+
+    def send(self, message: NocMessage) -> None:
+        """Queue a message for injection (unbounded tile-side queue)."""
+        if message.src != self.coord:
+            message.src = self.coord
+        self._send_queue.append(message)
+
+    @property
+    def tx_backlog(self) -> int:
+        """Messages queued or in flight on the injection side."""
+        return len(self._send_queue) + (1 if self._pending_flits else 0)
+
+    def step(self, cycle: int) -> None:
+        if not self._pending_flits and self._send_queue:
+            message = self._send_queue.pop(0)
+            self._pending_flits = message.to_flits()
+            self.messages_sent += 1
+        if self._pending_flits:
+            local_in = self.router.inputs[Port.LOCAL]
+            if local_in.can_accept():
+                local_in.push(self._pending_flits.pop(0))
+                self.flits_injected += 1
+
+    def commit(self) -> None:
+        self.eject_fifo.commit()
+
+    # -- receive side -------------------------------------------------------
+
+    @property
+    def mid_message(self) -> bool:
+        """True while the ejection side is partway through a message."""
+        return self._assembler.mid_message
+
+    def receive(self) -> NocMessage | None:
+        """Consume at most one ejected flit; a completed message or None.
+
+        A tile that calls this once per cycle drains at one flit/cycle,
+        matching the single router ejection port.
+        """
+        flit = self.eject_fifo.peek()
+        if flit is None:
+            return None
+        self.eject_fifo.pop()
+        message = self._assembler.push(flit)
+        if message is not None:
+            self.messages_received += 1
+        return message
+
+
+class Mesh:
+    """A width x height 2D mesh of wormhole routers."""
+
+    def __init__(self, width: int, height: int,
+                 fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
+                 routing: str = "xy"):
+        if width < 1 or height < 1:
+            raise ValueError(f"bad mesh dimensions {width}x{height}")
+        from repro.noc.routing import xy_route, yx_route
+        try:
+            route_fn = {"xy": xy_route, "yx": yx_route}[routing]
+        except KeyError:
+            raise ValueError(f"unknown routing {routing!r} "
+                             "(choose 'xy' or 'yx')") from None
+        self.width = width
+        self.height = height
+        self.routing = routing
+        self.routers: dict[tuple[int, int], Router] = {}
+        for y in range(height):
+            for x in range(width):
+                self.routers[(x, y)] = Router((x, y), fifo_depth,
+                                              route_fn=route_fn)
+        self._wire()
+        self._ports: dict[tuple[int, int], LocalPort] = {}
+
+    def _wire(self) -> None:
+        for (x, y), router in self.routers.items():
+            if x + 1 < self.width:
+                east = self.routers[(x + 1, y)]
+                router.connect_output(Port.EAST, east.inputs[Port.WEST])
+                east.connect_output(Port.WEST, router.inputs[Port.EAST])
+            if y + 1 < self.height:
+                south = self.routers[(x, y + 1)]
+                router.connect_output(Port.SOUTH, south.inputs[Port.NORTH])
+                south.connect_output(Port.NORTH, router.inputs[Port.SOUTH])
+
+    def attach(self, coord: tuple[int, int],
+               eject_depth: int = 4) -> LocalPort:
+        """Create (or return) the local port at ``coord``."""
+        if coord not in self.routers:
+            raise KeyError(f"no router at {coord} in "
+                           f"{self.width}x{self.height} mesh")
+        if coord in self._ports:
+            return self._ports[coord]
+        port = LocalPort(self.routers[coord], eject_depth)
+        self._ports[coord] = port
+        return port
+
+    def register(self, simulator: CycleSimulator) -> None:
+        """Add all routers and attached ports to a simulator."""
+        for router in self.routers.values():
+            simulator.add(router)
+        for port in self._ports.values():
+            simulator.add(port)
+
+    @property
+    def total_flits_forwarded(self) -> int:
+        return sum(r.flits_forwarded for r in self.routers.values())

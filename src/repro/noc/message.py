@@ -1,0 +1,151 @@
+"""NoC messages and their flit-level encoding/decoding.
+
+``NocMessage.to_flits`` performs what the paper calls NoC message
+construction (one header flit, metadata flit(s) with parsed packet-header
+fields, data flits with 64 B payload slices); ``MessageAssembler``
+performs deconstruction at the receiving tile.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.noc.flit import Flit, FlitKind
+from repro.params import FLIT_BYTES, NOC_MAX_PAYLOAD_BYTES
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class NocMessage:
+    """A message between two tiles.
+
+    ``metadata`` is the parsed-header / control portion (an arbitrary
+    object: protocol tiles pass header dataclasses, the control plane
+    passes command objects).  ``data`` is the raw payload carried in
+    64-byte data flits.
+    """
+
+    dst: tuple[int, int]
+    src: tuple[int, int]
+    metadata: object = None
+    data: bytes = b""
+    n_meta_flits: int = 1
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self):
+        if len(self.data) > NOC_MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload {len(self.data)} exceeds NoC max "
+                f"{NOC_MAX_PAYLOAD_BYTES}"
+            )
+        if self.n_meta_flits < 0:
+            raise ValueError("n_meta_flits must be >= 0")
+
+    @property
+    def n_data_flits(self) -> int:
+        return math.ceil(len(self.data) / FLIT_BYTES)
+
+    @property
+    def n_flits(self) -> int:
+        """Total flits on the wire: header + metadata + data."""
+        return 1 + self.n_meta_flits + self.n_data_flits
+
+    def to_flits(self) -> list[Flit]:
+        """Encode as a wormhole-ready flit sequence."""
+        flits: list[Flit] = []
+        total = self.n_flits
+        flits.append(Flit(
+            kind=FlitKind.HEADER,
+            is_head=True,
+            is_tail=(total == 1),
+            dst=self.dst,
+            src=self.src,
+            msg_id=self.msg_id,
+            payload=None,
+        ))
+        for i in range(self.n_meta_flits):
+            is_last = (i == self.n_meta_flits - 1) and self.n_data_flits == 0
+            flits.append(Flit(
+                kind=FlitKind.METADATA,
+                is_head=False,
+                is_tail=is_last,
+                dst=self.dst,
+                src=self.src,
+                msg_id=self.msg_id,
+                payload=self.metadata if i == 0 else None,
+            ))
+        n_data = self.n_data_flits
+        for i in range(n_data):
+            chunk = self.data[i * FLIT_BYTES:(i + 1) * FLIT_BYTES]
+            flits.append(Flit(
+                kind=FlitKind.DATA,
+                is_head=False,
+                is_tail=(i == n_data - 1),
+                dst=self.dst,
+                src=self.src,
+                msg_id=self.msg_id,
+                payload=chunk,
+            ))
+        return flits
+
+
+class MessageAssembler:
+    """Rebuilds :class:`NocMessage` objects from an in-order flit stream.
+
+    Wormhole switching guarantees a tile's local ejection port delivers
+    each message's flits contiguously, so a single in-flight assembly
+    suffices per port.
+    """
+
+    def __init__(self):
+        self._current: dict | None = None
+
+    @property
+    def mid_message(self) -> bool:
+        return self._current is not None
+
+    def push(self, flit: Flit) -> NocMessage | None:
+        """Feed one flit; returns a completed message on the tail flit."""
+        if flit.is_head:
+            if self._current is not None:
+                raise ValueError(
+                    f"header flit {flit!r} arrived mid-message"
+                )
+            self._current = {
+                "dst": flit.dst,
+                "src": flit.src,
+                "msg_id": flit.msg_id,
+                "metadata": None,
+                "meta_count": 0,
+                "chunks": [],
+            }
+        else:
+            if self._current is None:
+                raise ValueError(f"body flit {flit!r} without a header")
+            if flit.msg_id != self._current["msg_id"]:
+                raise ValueError(
+                    f"interleaved flit {flit!r} inside msg "
+                    f"{self._current['msg_id']}"
+                )
+            if flit.kind == FlitKind.METADATA:
+                if self._current["meta_count"] == 0:
+                    self._current["metadata"] = flit.payload
+                self._current["meta_count"] += 1
+            elif flit.kind == FlitKind.DATA:
+                self._current["chunks"].append(bytes(flit.payload or b""))
+        if flit.is_tail:
+            state = self._current
+            self._current = None
+            message = NocMessage(
+                dst=state["dst"],
+                src=state["src"],
+                metadata=state["metadata"],
+                data=b"".join(state["chunks"]),
+                n_meta_flits=state["meta_count"],
+            )
+            message.msg_id = state["msg_id"]
+            return message
+        return None

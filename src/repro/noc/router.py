@@ -1,0 +1,128 @@
+"""A wormhole, dimension-order-routed NoC router.
+
+Each router has five ports (N/S/E/W/local), a shallow FIFO per input
+port, and per-output wormhole allocation: once a header flit wins an
+output port, the port stays locked to that input until the tail flit
+passes.  Backpressure is credit-like — a flit moves only if the
+downstream input FIFO has space — so a blocked message holds its chain
+of links, which is exactly the behaviour the deadlock analysis reasons
+about (Fig. 5).
+
+Transfers are staged through :class:`repro.sim.kernel.StagedFifo`, so a
+flit moved this cycle is visible downstream next cycle: one cycle per
+hop, one flit per link per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.noc.flit import Flit
+from repro.noc.routing import Port, xy_route
+from repro.params import ROUTER_INPUT_FIFO_FLITS
+from repro.sim.kernel import StagedFifo
+
+_DIRECTIONS = [Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH]
+_ALL_PORTS = [Port.LOCAL] + _DIRECTIONS
+
+
+class Router:
+    """One mesh router.  Wired up by :class:`repro.noc.mesh.Mesh`."""
+
+    def __init__(self, coord: tuple[int, int],
+                 fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
+                 name: str | None = None,
+                 route_fn=xy_route):
+        self.coord = coord
+        self.name = name or f"router{coord}"
+        self.route_fn = route_fn
+        self.inputs: dict[Port, StagedFifo] = {
+            port: StagedFifo(fifo_depth, name=f"{self.name}.in.{port.value}")
+            for port in _ALL_PORTS
+        }
+        # Downstream FIFO per output port: a neighbour router's input
+        # FIFO for mesh ports, the attached tile's ejection FIFO for
+        # LOCAL.  Filled in by the mesh / attachment.
+        self.outputs: dict[Port, StagedFifo | None] = {
+            port: None for port in _ALL_PORTS
+        }
+        # Wormhole state: which input currently owns each output port.
+        self._grant: dict[Port, Port | None] = {
+            port: None for port in _ALL_PORTS
+        }
+        # Round-robin arbitration pointer per output port.
+        self._rr: dict[Port, int] = {port: 0 for port in _ALL_PORTS}
+        # Statistics.
+        self.flits_forwarded = 0
+        self.flits_per_output: dict[Port, int] = {
+            port: 0 for port in _ALL_PORTS
+        }
+
+    # -- wiring -----------------------------------------------------------
+
+    def connect_output(self, port: Port, downstream: StagedFifo) -> None:
+        self.outputs[port] = downstream
+
+    # -- per-cycle behaviour ------------------------------------------------
+
+    def _route(self, flit: Flit) -> Port:
+        return self.route_fn(self.coord, flit.dst)
+
+    def step(self, cycle: int) -> None:
+        moved_inputs: set[Port] = set()
+        for out_port in _ALL_PORTS:
+            downstream = self.outputs[out_port]
+            if downstream is None:
+                continue
+            owner = self._grant[out_port]
+            if owner is not None:
+                self._advance_locked(out_port, owner, downstream,
+                                     moved_inputs)
+            else:
+                self._arbitrate(out_port, downstream, moved_inputs)
+
+    def _advance_locked(self, out_port: Port, owner: Port,
+                        downstream: StagedFifo,
+                        moved_inputs: set[Port]) -> None:
+        """Move the next body flit of the message holding ``out_port``."""
+        if owner in moved_inputs:
+            return
+        fifo = self.inputs[owner]
+        flit = fifo.peek()
+        if flit is None or not downstream.can_accept():
+            return
+        fifo.pop()
+        downstream.push(flit)
+        moved_inputs.add(owner)
+        self.flits_forwarded += 1
+        self.flits_per_output[out_port] += 1
+        if flit.is_tail:
+            self._grant[out_port] = None
+
+    def _arbitrate(self, out_port: Port, downstream: StagedFifo,
+                   moved_inputs: set[Port]) -> None:
+        """Round-robin among inputs whose head flit wants ``out_port``."""
+        n = len(_ALL_PORTS)
+        start = self._rr[out_port]
+        for k in range(n):
+            in_port = _ALL_PORTS[(start + k) % n]
+            if in_port in moved_inputs:
+                continue
+            flit = self.inputs[in_port].peek()
+            if flit is None or not flit.is_head:
+                continue
+            if self._route(flit) != out_port:
+                continue
+            if not downstream.can_accept():
+                return  # head is blocked; output stays free this cycle
+            self.inputs[in_port].pop()
+            downstream.push(flit)
+            moved_inputs.add(in_port)
+            self.flits_forwarded += 1
+            self.flits_per_output[out_port] += 1
+            if not flit.is_tail:
+                self._grant[out_port] = in_port
+            self._rr[out_port] = (_ALL_PORTS.index(in_port) + 1) % n
+            return
+
+    def commit(self) -> None:
+        for fifo in self.inputs.values():
+            fifo.commit()

@@ -1,0 +1,57 @@
+"""Byte-accurate packet formats: Ethernet (VLAN-aware), IPv4, UDP, TCP.
+
+These are the real wire formats — headers pack to and parse from bytes,
+and checksums are genuine Internet checksums — because Beehive's headline
+interoperability claim is that unmodified Linux clients talk to it.  Our
+protocol tiles parse and construct these exact bytes.
+"""
+
+from repro.packet.checksum import internet_checksum, verify_checksum
+from repro.packet.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    EthernetHeader,
+    MacAddress,
+)
+from repro.packet.ipv4 import (
+    IPPROTO_IPIP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPv4Address,
+    IPv4Header,
+)
+from repro.packet.tcp import TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN, TcpHeader
+from repro.packet.udp import UdpHeader
+from repro.packet.builder import (
+    build_ipv4_udp_frame,
+    build_tcp_frame,
+    parse_frame,
+    ParsedFrame,
+)
+
+__all__ = [
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "EthernetHeader",
+    "IPPROTO_IPIP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "IPv4Address",
+    "IPv4Header",
+    "MacAddress",
+    "ParsedFrame",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_PSH",
+    "TCP_RST",
+    "TCP_SYN",
+    "TcpHeader",
+    "UdpHeader",
+    "build_ipv4_udp_frame",
+    "build_tcp_frame",
+    "internet_checksum",
+    "parse_frame",
+    "verify_checksum",
+]

@@ -1,0 +1,27 @@
+"""The Internet checksum (RFC 1071), used by IPv4, UDP, and TCP."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement 16-bit checksum over ``data``.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (including its embedded checksum field) sums to 0.
+
+    A correct RFC 1071 checksum makes the one's-complement sum of the
+    whole buffer equal 0xFFFF, so the complemented sum is zero.
+    """
+    return internet_checksum(data) == 0

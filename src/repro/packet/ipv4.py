@@ -1,0 +1,169 @@
+"""IPv4 header with options support and real header checksum.
+
+Variable-length headers (options) are first-class because the paper calls
+out variable-width header removal as one of the harder parts of the
+hardware (section V-B).  IP fragmentation is not supported, mirroring the
+paper's scoping for intra-datacenter services.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.packet.checksum import internet_checksum, verify_checksum
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+IPPROTO_IPIP = 4
+
+_FIXED = struct.Struct("!BBHHHBBH4s4s")
+FIXED_HEADER_LEN = 20
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address; hashable, comparable, printable."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "str | int | bytes | IPv4Address"):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise ValueError(f"IPv4 int out of range: {value}")
+            self._value = value
+        elif isinstance(value, bytes):
+            if len(value) != 4:
+                raise ValueError(f"IPv4 needs 4 bytes, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"bad IPv4 string {value!r}")
+            octets = [int(p) for p in parts]
+            if any(not 0 <= o < 256 for o in octets):
+                raise ValueError(f"bad IPv4 string {value!r}")
+            self._value = int.from_bytes(bytes(octets), "big")
+        else:
+            raise TypeError(f"cannot make IPv4Address from {type(value)}")
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IPv4Address) and self._value == other._value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __repr__(self) -> str:
+        return ".".join(str(b) for b in self.packed)
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header.  ``total_length`` covers header + payload."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: int = IPPROTO_UDP
+    total_length: int = FIXED_HEADER_LEN
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    ecn: int = 0
+    flags: int = 0b010  # don't-fragment: the stack never fragments
+    fragment_offset: int = 0
+    options: bytes = b""
+
+    def __post_init__(self):
+        self.src = IPv4Address(self.src)
+        self.dst = IPv4Address(self.dst)
+        if len(self.options) % 4:
+            raise ValueError("IPv4 options must be 32-bit aligned")
+        if len(self.options) > 40:
+            raise ValueError("IPv4 options exceed 40 bytes")
+
+    @property
+    def header_len(self) -> int:
+        return FIXED_HEADER_LEN + len(self.options)
+
+    @property
+    def ihl(self) -> int:
+        return self.header_len // 4
+
+    @property
+    def payload_len(self) -> int:
+        return self.total_length - self.header_len
+
+    def pack(self) -> bytes:
+        """Serialise with a freshly computed header checksum."""
+        version_ihl = (4 << 4) | self.ihl
+        tos = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        without_csum = _FIXED.pack(
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src.packed,
+            self.dst.packed,
+        ) + self.options
+        csum = internet_checksum(without_csum)
+        return without_csum[:10] + struct.pack("!H", csum) + without_csum[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        """Parse a header off the front of ``data``; returns (hdr, rest).
+
+        Raises ValueError on malformed input or a bad header checksum,
+        modelling the tile's checksum-validate-and-drop behaviour.
+        """
+        if len(data) < FIXED_HEADER_LEN:
+            raise ValueError(f"too short for IPv4: {len(data)}")
+        (version_ihl, tos, total_length, ident, flags_frag,
+         ttl, protocol, _csum, src, dst) = _FIXED.unpack_from(data)
+        version = version_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        header_len = (version_ihl & 0xF) * 4
+        if header_len < FIXED_HEADER_LEN or len(data) < header_len:
+            raise ValueError(f"bad IHL: {header_len}")
+        if total_length < header_len or total_length > len(data):
+            raise ValueError(
+                f"bad total_length {total_length} (have {len(data)})"
+            )
+        if not verify_checksum(data[:header_len]):
+            raise ValueError("IPv4 header checksum mismatch")
+        header = cls(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            protocol=protocol,
+            total_length=total_length,
+            ttl=ttl,
+            identification=ident,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            options=bytes(data[FIXED_HEADER_LEN:header_len]),
+        )
+        return header, data[header_len:total_length]
+
+    def pseudo_header(self, l4_length: int) -> bytes:
+        """The pseudo-header used by UDP/TCP checksums (RFC 768/793)."""
+        return self.src.packed + self.dst.packed + struct.pack(
+            "!BBH", 0, self.protocol, l4_length
+        )

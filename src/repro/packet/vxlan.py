@@ -1,0 +1,64 @@
+"""VXLAN encapsulation (RFC 7348).
+
+The paper's target stack (Fig 2) carries both IP-in-IP and VXLAN for
+network virtualization.  VXLAN rides UDP (destination port 4789): an
+8-byte header carrying a 24-bit virtual network identifier (VNI), then
+the complete inner Ethernet frame.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+VXLAN_UDP_PORT = 4789
+_FLAG_VNI_VALID = 0x08
+
+_HDR = struct.Struct("!BBHIB")  # we pack manually; see below
+HEADER_LEN = 8
+
+
+@dataclass(frozen=True)
+class VxlanHeader:
+    """The VXLAN header: flags (VNI-valid), 24-bit VNI."""
+
+    vni: int
+
+    def __post_init__(self):
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError(f"VNI out of range: {self.vni}")
+
+    def pack(self) -> bytes:
+        return bytes([
+            _FLAG_VNI_VALID, 0, 0, 0,
+            (self.vni >> 16) & 0xFF,
+            (self.vni >> 8) & 0xFF,
+            self.vni & 0xFF,
+            0,
+        ])
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["VxlanHeader", bytes]:
+        """Parse the header off the front; returns (header, inner
+        frame).  Raises ValueError if the VNI-valid flag is unset."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"too short for VXLAN: {len(data)}")
+        if not data[0] & _FLAG_VNI_VALID:
+            raise ValueError("VXLAN I-flag not set")
+        vni = (data[4] << 16) | (data[5] << 8) | data[6]
+        return cls(vni=vni), data[HEADER_LEN:]
+
+
+def build_vxlan_frame(
+    outer_src_mac, outer_dst_mac, outer_src_ip, outer_dst_ip,
+    vni: int, inner_frame: bytes, src_port: int = 49152,
+) -> bytes:
+    """A complete outer Ethernet/IPv4/UDP/VXLAN frame around
+    ``inner_frame``."""
+    from repro.packet.builder import build_ipv4_udp_frame
+
+    payload = VxlanHeader(vni=vni).pack() + inner_frame
+    return build_ipv4_udp_frame(
+        outer_src_mac, outer_dst_mac, outer_src_ip, outer_dst_ip,
+        src_port, VXLAN_UDP_PORT, payload,
+    )

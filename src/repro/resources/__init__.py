@@ -1,0 +1,19 @@
+"""FPGA resource and timing models (Table V, section VII-I)."""
+
+from repro.resources.model import (
+    DesignUtilization,
+    ModuleCost,
+    design_utilization,
+    max_frequency_mhz,
+    max_placeable_tiles,
+    tile_cost,
+)
+
+__all__ = [
+    "DesignUtilization",
+    "ModuleCost",
+    "design_utilization",
+    "max_frequency_mhz",
+    "max_placeable_tiles",
+    "tile_cost",
+]

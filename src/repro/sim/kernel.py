@@ -1,0 +1,149 @@
+"""Cycle-driven simulation kernel.
+
+Models synchronous digital hardware with a two-phase clock:
+
+1. *step*: every component reads the state committed at the end of the
+   previous cycle and stages its outputs (e.g. pushes flits into
+   downstream :class:`StagedFifo` objects).
+2. *commit*: all staged writes become visible simultaneously.
+
+Because no staged write is observable until every component has stepped,
+the result is independent of component iteration order, which keeps the
+simulator deterministic and faithful to clocked RTL.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ClockedComponent(Protocol):
+    """Anything driven by the simulator clock.
+
+    ``step(cycle)`` computes against last cycle's state; ``commit()``
+    publishes this cycle's writes.
+    """
+
+    def step(self, cycle: int) -> None: ...
+
+    def commit(self) -> None: ...
+
+
+class StagedFifo:
+    """A FIFO with staged writes, modelling a clocked queue.
+
+    ``push`` stages an item that becomes poppable only after ``commit``.
+    Capacity accounting is conservative: staged items count against
+    capacity immediately, so a producer that checks :meth:`can_accept`
+    during *step* can never overflow the queue.
+    """
+
+    def __init__(self, capacity: int | None = None, name: str = "fifo"):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()
+        self._staged: list = []
+
+    def __len__(self) -> int:
+        """Number of committed (visible) items."""
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> int:
+        """Committed plus staged items — what counts against capacity."""
+        return len(self._items) + len(self._staged)
+
+    def can_accept(self, n: int = 1) -> bool:
+        if self.capacity is None:
+            return True
+        return self.occupancy + n <= self.capacity
+
+    def push(self, item) -> None:
+        if not self.can_accept():
+            raise OverflowError(f"push to full StagedFifo {self.name!r}")
+        self._staged.append(item)
+
+    def peek(self):
+        """The oldest committed item, or None if empty."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def pop(self):
+        if not self._items:
+            raise IndexError(f"pop from empty StagedFifo {self.name!r}")
+        return self._items.popleft()
+
+    def commit(self) -> None:
+        if self._staged:
+            self._items.extend(self._staged)
+            self._staged.clear()
+
+    def drain(self) -> list:
+        """Pop and return all committed items (testing convenience)."""
+        out = list(self._items)
+        self._items.clear()
+        return out
+
+
+class CycleSimulator:
+    """Drives a set of :class:`ClockedComponent` objects cycle by cycle."""
+
+    def __init__(self):
+        self.cycle = 0
+        self._components: list[ClockedComponent] = []
+        self._fifos: list[StagedFifo] = []
+
+    def add(self, component: ClockedComponent) -> None:
+        self._components.append(component)
+
+    def add_all(self, components: Iterable[ClockedComponent]) -> None:
+        for component in components:
+            self.add(component)
+
+    def register_fifo(self, fifo: StagedFifo) -> StagedFifo:
+        """Track a free-standing FIFO so the simulator commits it.
+
+        FIFOs owned by a component should be committed by that
+        component's ``commit`` instead.
+        """
+        self._fifos.append(fifo)
+        return fifo
+
+    def tick(self) -> None:
+        """Advance the simulation by one clock cycle."""
+        for component in self._components:
+            component.step(self.cycle)
+        for component in self._components:
+            component.commit()
+        for fifo in self._fifos:
+            fifo.commit()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.tick()
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+    ) -> int:
+        """Tick until ``condition()`` is true; returns cycles consumed.
+
+        Raises TimeoutError if the condition does not hold within
+        ``max_cycles`` — the standard way tests detect a hung (e.g.
+        deadlocked) design.
+        """
+        start = self.cycle
+        while not condition():
+            if self.cycle - start >= max_cycles:
+                raise TimeoutError(
+                    f"condition not met within {max_cycles} cycles"
+                )
+            self.tick()
+        return self.cycle - start

@@ -1,0 +1,59 @@
+"""The Beehive TCP engine (paper section V-D).
+
+Server-side TCP split into a receive engine and a transmit engine in
+separate tiles, exactly as the paper describes:
+
+- the RX engine accepts connection-setup requests, checks received data
+  for in-orderness, calculates the next ACK, and processes ACKs for
+  transmitted data (driving fast retransmit on duplicate ACKs);
+- the TX engine owns the send window, sequence numbers, segmentation,
+  and retransmission;
+- flow state is divided into two stores by *which engine writes it* (the
+  paper's dual-BRAM trick), and the engines exchange events over
+  dedicated wires rather than the NoC;
+- applications interact at request granularity through NoC messages
+  (connection notifications, receive request/notify, transmit
+  reserve/grant/ready), with payload staged in buffer tiles.
+
+Not implemented, mirroring the paper's scoping: selective
+acknowledgements, active open, congestion control.
+"""
+
+from repro.tcp.flow import FlowTable, RxFlowState, TcpState, TxFlowState
+from repro.tcp.messages import (
+    ConnectionNotify,
+    RxComplete,
+    RxNotify,
+    RxRequest,
+    TxGrant,
+    TxReady,
+    TxReserve,
+)
+from repro.tcp.rx_engine import TcpRxEngineTile
+from repro.tcp.tx_engine import TcpTxEngineTile
+from repro.tcp.app import (
+    TcpAppTile,
+    TcpEchoAppTile,
+    TcpSinkAppTile,
+    TcpSourceAppTile,
+)
+
+__all__ = [
+    "ConnectionNotify",
+    "FlowTable",
+    "RxComplete",
+    "RxFlowState",
+    "RxNotify",
+    "RxRequest",
+    "TcpAppTile",
+    "TcpEchoAppTile",
+    "TcpRxEngineTile",
+    "TcpSinkAppTile",
+    "TcpSourceAppTile",
+    "TcpState",
+    "TcpTxEngineTile",
+    "TxFlowState",
+    "TxGrant",
+    "TxReady",
+    "TxReserve",
+]

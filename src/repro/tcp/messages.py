@@ -1,0 +1,93 @@
+"""NoC message types of the TCP application interface (section V-D).
+
+The paper's interface, message for message:
+
+- on handshake completion the engine notifies the application tile
+  registered for the destination port (:class:`ConnectionNotify`);
+- the application asks to be notified when ``size`` bytes of a flow
+  have arrived (:class:`RxRequest`); the engine answers with the buffer
+  address where the data sits (:class:`RxNotify`); the application
+  reads the buffer tile and frees the window (:class:`RxComplete`);
+- for transmit, the application reserves buffer space
+  (:class:`TxReserve`), the engine grants an address when there is room
+  (:class:`TxGrant`), and the application signals the copied data ready
+  to go on the wire (:class:`TxReady`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConnectionNotify:
+    """3-way handshake completed for ``flow_id`` on ``dst_port``."""
+
+    flow_id: int
+    four_tuple: tuple
+    dst_port: int
+
+
+@dataclass(frozen=True)
+class RxRequest:
+    """App asks: notify me when ``size`` bytes of ``flow_id`` arrived."""
+
+    flow_id: int
+    size: int
+    reply_to: tuple
+
+
+@dataclass(frozen=True)
+class RxNotify:
+    """``size`` bytes are available at ``addr`` in the RX buffer tile.
+
+    May cover less than requested when the ring wraps; the engine sends
+    a follow-up for the remainder after the app re-requests.
+    """
+
+    flow_id: int
+    addr: int
+    size: int
+    stream_offset: int
+
+
+@dataclass(frozen=True)
+class RxComplete:
+    """App has finished with ``size`` bytes; free the receive window."""
+
+    flow_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class TxReserve:
+    """App asks for ``size`` bytes of space in the transmit buffer."""
+
+    flow_id: int
+    size: int
+    reply_to: tuple
+
+
+@dataclass(frozen=True)
+class TxGrant:
+    """``size`` bytes granted at ``addr`` in the TX buffer tile."""
+
+    flow_id: int
+    addr: int
+    size: int
+    stream_offset: int
+
+
+@dataclass(frozen=True)
+class TxReady:
+    """App has copied ``size`` bytes into the granted space; transmit."""
+
+    flow_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class ConnectionClosed:
+    """Peer closed its half of ``flow_id`` (FIN received and ACKed)."""
+
+    flow_id: int

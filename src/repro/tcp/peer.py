@@ -1,0 +1,268 @@
+"""A software TCP peer for the cycle-level simulations.
+
+Plays the role of the unmodified Linux/kernel-bypass client the paper
+interoperates with: an independent, frame-level TCP implementation that
+actively opens connections, streams or echo-pings data, ACKs received
+segments, and retransmits on timeout.  Being independently written, it
+doubles as the interop check — the Beehive engine is exercised against
+TCP logic that shares none of its code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro import params
+from repro.packet.builder import build_tcp_frame, parse_frame
+from repro.packet.ethernet import MacAddress
+from repro.packet.ipv4 import IPv4Address
+from repro.packet.tcp import TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN, TcpHeader
+from repro.tcp.flow import seq_add, seq_diff
+
+
+class PeerNetwork:
+    """Demultiplexes a design's egress frames to multiple peers.
+
+    A single peer may drain ``design.eth_tx.frames_out`` directly, but
+    with several clients each frame must reach the right one; this
+    clocked component routes by (destination IP, destination port).
+    Register it with the simulator *before* the peers it feeds.
+    """
+
+    def __init__(self, design):
+        self.design = design
+        self._inboxes: dict[tuple[int, int], deque] = {}
+        self.unrouted = 0
+
+    def register(self, peer: "SoftTcpPeer") -> None:
+        inbox: deque = deque()
+        self._inboxes[(int(peer.my_ip), peer.src_port)] = inbox
+        peer._inbox = inbox
+
+    def step(self, cycle: int) -> None:
+        frames_out = self.design.eth_tx.frames_out
+        while frames_out:
+            frame, emit_cycle = frames_out.popleft()
+            if emit_cycle > cycle:
+                frames_out.appendleft((frame, emit_cycle))
+                break
+            try:
+                parsed = parse_frame(frame)
+            except ValueError:
+                self.unrouted += 1
+                continue
+            l4 = parsed.tcp or parsed.udp
+            if parsed.ip is None or l4 is None:
+                self.unrouted += 1
+                continue
+            inbox = self._inboxes.get((int(parsed.ip.dst), l4.dst_port))
+            if inbox is None:
+                self.unrouted += 1
+                continue
+            inbox.append((frame, emit_cycle))
+
+    def commit(self) -> None:
+        pass
+
+
+class SoftTcpPeer:
+    """A clocked client endpoint wired frame-to-frame to a design.
+
+    ``service_cycles`` is the per-frame processing cost of the host
+    (model knob); ``wire_cycles`` is the one-way link+switch latency.
+    """
+
+    def __init__(self, design, my_ip: IPv4Address, my_mac: MacAddress,
+                 server_ip: IPv4Address, server_port: int,
+                 src_port: int = 40000,
+                 mss: int = params.TCP_MSS_BYTES,
+                 window: int = 65535,
+                 service_cycles: int = 8,
+                 wire_cycles: int = 250,
+                 rto_cycles: int = params.TCP_RTO_CYCLES,
+                 iss: int = 7_000):
+        self.design = design
+        self.my_ip = IPv4Address(my_ip)
+        self.my_mac = MacAddress(my_mac)
+        self.server_ip = IPv4Address(server_ip)
+        self.server_port = server_port
+        self.src_port = src_port
+        self.mss = mss
+        self.window = window
+        self.service_cycles = service_cycles
+        self.wire_cycles = wire_cycles
+        self.rto_cycles = rto_cycles
+
+        self.iss = iss
+        self.snd_nxt = iss
+        self.snd_una = iss
+        self.rcv_nxt = 0
+        self.peer_window = 65535
+        self.established = False
+        self.fin_sent = False
+
+        self.send_stream = bytearray()  # bytes waiting to go out
+        self.sent_unacked = bytearray()  # retransmission window
+        self.received = bytearray()
+        self.on_data = None  # optional callback(bytes, cycle)
+
+        self._inbox: deque | None = None  # set by PeerNetwork.register
+        self._tx_free = 0
+        self._ack_pending = False
+        self._syn_sent = False
+        self._last_tx_cycle = 0
+        self.segments_sent = 0
+        self.retransmits = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Start the active open on the next step."""
+        self._connect_requested = True
+
+    _connect_requested = False
+
+    def send(self, data: bytes) -> None:
+        self.send_stream.extend(data)
+
+    def close(self) -> None:
+        self._close_requested = True
+
+    _close_requested = False
+
+    @property
+    def bytes_acked(self) -> int:
+        return seq_diff(self.snd_una, seq_add(self.iss, 1))
+
+    # -- clocked behaviour --------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._drain_server_frames(cycle)
+        self._transmit(cycle)
+
+    def commit(self) -> None:
+        pass
+
+    def _drain_server_frames(self, cycle: int) -> None:
+        if self._inbox is not None:
+            while self._inbox:
+                frame, _emit_cycle = self._inbox.popleft()
+                self._handle_frame(frame, cycle)
+            return
+        frames_out = self.design.eth_tx.frames_out
+        while frames_out:
+            frame, emit_cycle = frames_out.popleft()
+            if emit_cycle > cycle:
+                frames_out.appendleft((frame, emit_cycle))
+                break
+            self._handle_frame(frame, cycle)
+
+    def _handle_frame(self, frame: bytes, cycle: int) -> None:
+        parsed = parse_frame(frame)
+        if parsed.tcp is None or parsed.ip.dst != self.my_ip:
+            return
+        tcp = parsed.tcp
+        if tcp.flag(TCP_SYN) and tcp.flag(TCP_ACK):
+            if tcp.ack == seq_add(self.iss, 1):
+                self.rcv_nxt = seq_add(tcp.seq, 1)
+                self.snd_una = tcp.ack
+                self.snd_nxt = tcp.ack
+                self.peer_window = tcp.window
+                self.established = True
+                self._ack_pending = True
+            return
+        if tcp.flag(TCP_ACK):
+            advance = seq_diff(tcp.ack, self.snd_una)
+            if advance > 0:
+                del self.sent_unacked[:advance]
+                self.snd_una = tcp.ack
+            self.peer_window = tcp.window
+        payload = parsed.payload
+        if payload:
+            if tcp.seq == self.rcv_nxt:
+                self.received.extend(payload)
+                self.rcv_nxt = seq_add(self.rcv_nxt, len(payload))
+                if self.on_data is not None:
+                    self.on_data(payload, cycle)
+            self._ack_pending = True
+
+    def _transmit(self, cycle: int) -> None:
+        if cycle < self._tx_free:
+            return
+        frame = self._next_frame(cycle)
+        if frame is None:
+            return
+        self.design.inject(frame, cycle + self.wire_cycles)
+        self.segments_sent += 1
+        self._tx_free = cycle + self.service_cycles
+
+    def _next_frame(self, cycle: int) -> bytes | None:
+        if self._connect_requested and not self._syn_sent:
+            self._syn_sent = True
+            self._last_tx_cycle = cycle
+            return self._frame(TcpHeader(
+                src_port=self.src_port, dst_port=self.server_port,
+                seq=self.iss, flags=TCP_SYN, window=self.window,
+            ))
+        if self._syn_sent and not self.established and \
+                cycle - self._last_tx_cycle > self.rto_cycles:
+            self._last_tx_cycle = cycle
+            self.retransmits += 1
+            return self._frame(TcpHeader(
+                src_port=self.src_port, dst_port=self.server_port,
+                seq=self.iss, flags=TCP_SYN, window=self.window,
+            ))
+        if not self.established:
+            return None
+        # Data, window permitting.
+        in_flight = len(self.sent_unacked)
+        room = min(self.peer_window - in_flight, self.mss)
+        if self.send_stream and room > 0:
+            chunk = bytes(self.send_stream[:room])
+            del self.send_stream[:len(chunk)]
+            header = TcpHeader(
+                src_port=self.src_port, dst_port=self.server_port,
+                seq=self.snd_nxt, ack=self.rcv_nxt,
+                flags=TCP_ACK | TCP_PSH, window=self.window,
+            )
+            self.snd_nxt = seq_add(self.snd_nxt, len(chunk))
+            self.sent_unacked.extend(chunk)
+            self._ack_pending = False
+            self._last_tx_cycle = cycle
+            return self._frame(header, chunk)
+        # Retransmission.
+        if self.sent_unacked and \
+                cycle - self._last_tx_cycle > self.rto_cycles:
+            self.retransmits += 1
+            self._last_tx_cycle = cycle
+            chunk = bytes(self.sent_unacked[:self.mss])
+            header = TcpHeader(
+                src_port=self.src_port, dst_port=self.server_port,
+                seq=self.snd_una, ack=self.rcv_nxt,
+                flags=TCP_ACK | TCP_PSH, window=self.window,
+            )
+            return self._frame(header, chunk)
+        if self._close_requested and not self.fin_sent and \
+                not self.send_stream and not self.sent_unacked:
+            self.fin_sent = True
+            header = TcpHeader(
+                src_port=self.src_port, dst_port=self.server_port,
+                seq=self.snd_nxt, ack=self.rcv_nxt,
+                flags=TCP_ACK | TCP_FIN, window=self.window,
+            )
+            self.snd_nxt = seq_add(self.snd_nxt, 1)
+            return self._frame(header)
+        if self._ack_pending:
+            self._ack_pending = False
+            return self._frame(TcpHeader(
+                src_port=self.src_port, dst_port=self.server_port,
+                seq=self.snd_nxt, ack=self.rcv_nxt,
+                flags=TCP_ACK, window=self.window,
+            ))
+        return None
+
+    def _frame(self, header: TcpHeader, payload: bytes = b"") -> bytes:
+        return build_tcp_frame(
+            self.my_mac, self.design.server_mac, self.my_ip,
+            self.server_ip, header, payload,
+        )

@@ -1,0 +1,357 @@
+"""The TCP transmit engine tile.
+
+Responsibilities (paper section V-D): separate out buffers for sending,
+update the sequence number of the transmitted stream, segmentation
+within the peer's flow-control window, and retransmission (timer-driven
+go-back-N plus fast retransmit triggered by the receive engine over the
+dedicated wires).
+
+The engine writes only the TX half of the flow state.  When building a
+segment it reads the receive engine's ``rcv_nxt`` for the ACK field —
+the value may be a cycle stale, which the paper shows is equivalent to
+the packet having been received slightly later (the asynchrony
+argument in section V-D).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro import params
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.packet.ipv4 import IPPROTO_TCP, IPv4Address, IPv4Header
+from repro.packet.tcp import TCP_ACK, TCP_PSH, TCP_SYN, TcpHeader
+from repro.tcp.flow import FlowTable, seq_add, seq_diff
+from repro.tcp.messages import TxGrant, TxReady, TxReserve
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+from repro.tiles.buffer import BufferTile
+
+
+class TcpTxEngineTile(Tile):
+    """Server-side TCP transmit processing."""
+
+    KIND = "tcp_tx"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 flows: FlowTable, tx_buffer: BufferTile,
+                 tx_buf_bytes: int = params.TCP_TX_BUFFER_BYTES,
+                 mss: int = params.TCP_MSS_BYTES,
+                 rto_cycles: int = params.TCP_RTO_CYCLES,
+                 congestion_control: bool = False,
+                 initial_window_mss: int = 2,
+                 pipeline_ii: int = params.TCP_ENGINE_PIPELINE_II_CYCLES,
+                 **kwargs):
+        kwargs.setdefault("occupancy", params.TCP_ENGINE_PER_PACKET_CYCLES)
+        super().__init__(name, mesh, coord, **kwargs)
+        self.flows = flows
+        self.tx_buffer = tx_buffer
+        self.tx_buf_bytes = tx_buf_bytes
+        self.mss = mss
+        self.rto_cycles = rto_cycles
+        # Optional RFC 5681 congestion control — the paper's engine
+        # ships without it ("it does not support ... congestion
+        # control") and names it as integration work; this implements
+        # slow start, congestion avoidance, and window collapse on
+        # fast retransmit / RTO.
+        self.congestion_control = congestion_control
+        self.initial_window_mss = initial_window_mss
+        # The engine is pipelined: different flows issue pipeline_ii
+        # cycles apart; the same flow waits the full occupancy (its
+        # flow-state read-modify-write round-trip).  Section VII-D's
+        # multi-connection bandwidth behaviour falls out of this.
+        self.pipeline_ii = pipeline_ii
+        self._flow_pace: dict[int, int] = {}
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self._next_buf_base = 0
+        self._iss_counter = 0x1000_0000
+        # Control work queued by the RX engine over the dedicated wires.
+        self._control: deque[tuple[str, int]] = deque()
+        # Flows with a pending (unsatisfiable-yet) reservation.
+        self._pending_reserve: dict[int, deque] = {}
+        self._rr_flows: deque[int] = deque()
+        self._pace_free = 0
+        # Statistics
+        self.segments_out = 0
+        self.pure_acks_out = 0
+        self.payload_bytes_out = 0
+
+    # -- dedicated wires from the RX engine ------------------------------------
+
+    def request_synack(self, flow_id: int) -> None:
+        tx = self.flows.tx[flow_id]
+        if tx.iss == 0:
+            self._iss_counter += 0x10000
+            tx.iss = self._iss_counter
+            tx.snd_nxt = seq_add(tx.iss, 1)
+            tx.tx_buf_base = self._next_buf_base
+            tx.tx_buf_size = self.tx_buf_bytes
+            self._next_buf_base += self.tx_buf_bytes
+            self._pending_reserve.setdefault(flow_id, deque())
+            self._rr_flows.append(flow_id)
+            if self.congestion_control:
+                tx.cwnd = self.initial_window_mss * self.mss
+                tx.ssthresh = 65535
+        self._control.append(("synack", flow_id))
+
+    def request_ack(self, flow_id: int) -> None:
+        self._control.append(("ack", flow_id))
+
+    def fast_retransmit(self, flow_id: int) -> None:
+        if self.congestion_control:
+            tx = self.flows.tx.get(flow_id)
+            rx = self.flows.rx.get(flow_id)
+            if tx is not None and rx is not None:
+                in_flight = max(self.mss, seq_diff(tx.snd_nxt,
+                                                   rx.snd_una))
+                tx.ssthresh = max(in_flight // 2, 2 * self.mss)
+                tx.cwnd = tx.ssthresh
+        self._control.append(("fast_rtx", flow_id))
+
+    def on_ack_advance(self, flow_id: int, acked_bytes: int) -> None:
+        """Dedicated-wire notification from the RX engine: new data
+        was acknowledged.  Acked bytes free transmit-ring space, so
+        any reservation waiting on that space can be granted now (an
+        idle engine would otherwise never re-evaluate it); with
+        congestion control enabled the window also grows (RFC 5681).
+        """
+        if flow_id in self._pending_reserve and \
+                self._pending_reserve[flow_id]:
+            for out in self._grant_reservations(flow_id):
+                self.send(out)
+        if not self.congestion_control:
+            return
+        tx = self.flows.tx.get(flow_id)
+        if tx is None or tx.cwnd == 0:
+            return
+        if tx.cwnd < tx.ssthresh:
+            tx.cwnd += min(acked_bytes, self.mss)  # slow start
+        else:
+            tx.cwnd += max(1, self.mss * self.mss // tx.cwnd)
+
+    def release_flow(self, flow_id: int) -> None:
+        self._pending_reserve.pop(flow_id, None)
+        self._flow_pace.pop(flow_id, None)
+        if flow_id in self._rr_flows:
+            self._rr_flows.remove(flow_id)
+
+    # -- application interface ----------------------------------------------------
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        request = message.metadata
+        if isinstance(request, TxReserve):
+            queue = self._pending_reserve.get(request.flow_id)
+            if queue is None:
+                return self.drop(message, "unknown flow")
+            queue.append([request.size, request.reply_to])
+            return self._grant_reservations(request.flow_id)
+        if isinstance(request, TxReady):
+            tx = self.flows.tx.get(request.flow_id)
+            if tx is None:
+                return self.drop(message, "unknown flow")
+            tx.tx_written += request.size
+            return []
+        return self.drop(message, "unknown message at TCP TX")
+
+    def service_cycles(self, message: NocMessage) -> int:
+        """App-interface bookkeeping (reserve/ready) is a couple of
+        state-machine transitions, not a packet traversal."""
+        if isinstance(message.metadata, PacketMeta):
+            return max(message.n_flits, self.occupancy)
+        return max(message.n_flits, 8)
+
+    def _acked_stream(self, flow_id: int) -> int:
+        """Stream bytes the peer has acknowledged (frees ring space)."""
+        rx = self.flows.rx[flow_id]
+        tx = self.flows.tx[flow_id]
+        return max(0, seq_diff(rx.snd_una, seq_add(tx.iss, 1)))
+
+    def _grant_reservations(self, flow_id: int) -> list[NocMessage]:
+        tx = self.flows.tx[flow_id]
+        outputs = []
+        queue = self._pending_reserve[flow_id]
+        while queue:
+            size, reply_to = queue[0]
+            free = tx.tx_buf_size - (tx.tx_reserved -
+                                     self._acked_stream(flow_id))
+            offset = tx.tx_reserved % tx.tx_buf_size
+            # Grant whole requests (or ring-boundary splits), never
+            # free-space crumbs: fragmenting a reservation into tiny
+            # grants floods the engine with bookkeeping messages.
+            chunk = min(size, tx.tx_buf_size - offset)
+            if free < chunk:
+                break
+            grant = TxGrant(
+                flow_id=flow_id,
+                addr=tx.tx_buf_base + offset,
+                size=chunk,
+                stream_offset=tx.tx_reserved,
+            )
+            outputs.append(self.make_message(reply_to, metadata=grant))
+            tx.tx_reserved += chunk
+            if chunk == size:
+                queue.popleft()
+            else:
+                queue[0][0] = size - chunk
+        return outputs
+
+    # -- transmission pump -----------------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        if cycle < self._pace_free or \
+                self.port.tx_backlog >= self.max_tx_backlog:
+            return
+        message = self._next_transmission(cycle)
+        if message is None:
+            return
+        self.send(message)
+        self._pace_free = cycle + max(message.n_flits,
+                                      self.pipeline_ii)
+        # Retry any reservations that freed ring space unblocks.
+        for flow_id in list(self._pending_reserve):
+            if self._pending_reserve[flow_id]:
+                for out in self._grant_reservations(flow_id):
+                    self.send(out)
+
+    def _next_transmission(self, cycle: int) -> NocMessage | None:
+        while self._control:
+            kind, flow_id = self._control.popleft()
+            if flow_id not in self.flows.tx:
+                continue
+            if kind == "synack":
+                self.flows.tx[flow_id].last_tx_cycle = cycle
+                return self._build_segment(flow_id, syn=True)
+            if kind == "ack":
+                self.pure_acks_out += 1
+                return self._build_segment(flow_id)
+            if kind == "fast_rtx":
+                tx = self.flows.tx[flow_id]
+                tx.fast_retransmits += 1
+                return self._retransmit(flow_id, cycle)
+        # Data transmission: round-robin across flows.
+        for _ in range(len(self._rr_flows)):
+            flow_id = self._rr_flows[0]
+            self._rr_flows.rotate(-1)
+            message = self._try_send_data(flow_id, cycle)
+            if message is not None:
+                return message
+        # Retransmission timer.
+        from repro.tcp.flow import TcpState
+        for flow_id in self.flows.tx:
+            tx = self.flows.tx[flow_id]
+            rx = self.flows.rx.get(flow_id)
+            if rx is None or tx.iss == 0:
+                continue
+            if cycle - tx.last_tx_cycle <= self.rto_cycles:
+                continue
+            if rx.state == TcpState.SYN_RCVD:
+                tx.retransmits += 1
+                tx.last_tx_cycle = cycle
+                return self._build_segment(flow_id, syn=True)
+            in_flight = seq_diff(tx.snd_nxt, rx.snd_una)
+            if rx.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT) \
+                    and in_flight > 0:
+                tx.retransmits += 1
+                if self.congestion_control and tx.cwnd:
+                    # RTO: collapse the window to one segment.
+                    tx.ssthresh = max(in_flight // 2, 2 * self.mss)
+                    tx.cwnd = self.mss
+                return self._retransmit(flow_id, cycle)
+        return None
+
+    def _try_send_data(self, flow_id: int,
+                       cycle: int) -> NocMessage | None:
+        tx = self.flows.tx[flow_id]
+        rx = self.flows.rx.get(flow_id)
+        if rx is None or tx.iss == 0:
+            return None
+        if cycle < self._flow_pace.get(flow_id, 0):
+            return None  # this flow's state round-trip is in flight
+        unsent = tx.tx_written - tx.tx_stream_sent
+        if unsent <= 0:
+            return None
+        in_flight = seq_diff(tx.snd_nxt, rx.snd_una)
+        send_window = rx.peer_window
+        if self.congestion_control and tx.cwnd:
+            send_window = min(send_window, tx.cwnd)
+        window_room = send_window - in_flight
+        if window_room <= 0:
+            return None
+        length = min(unsent, window_room, self.mss)
+        payload = self._read_ring(tx, tx.tx_stream_sent, length)
+        message = self._build_segment(flow_id, payload=payload,
+                                      seq=tx.snd_nxt)
+        tx.snd_nxt = seq_add(tx.snd_nxt, len(payload))
+        tx.last_tx_cycle = cycle
+        self._flow_pace[flow_id] = cycle + self.occupancy
+        self.payload_bytes_out += len(payload)
+        return message
+
+    def _retransmit(self, flow_id: int, cycle: int) -> NocMessage | None:
+        """Go-back-N: resend one segment from the oldest unacked byte."""
+        tx = self.flows.tx[flow_id]
+        rx = self.flows.rx.get(flow_id)
+        if rx is None:
+            return None
+        start = self._acked_stream(flow_id)
+        length = min(seq_diff(tx.snd_nxt, rx.snd_una), self.mss)
+        if length <= 0:
+            return None
+        payload = self._read_ring(tx, start, length)
+        tx.last_tx_cycle = cycle
+        self._flow_pace[flow_id] = cycle + self.occupancy
+        return self._build_segment(flow_id, payload=payload,
+                                   seq=rx.snd_una)
+
+    def _read_ring(self, tx, stream_offset: int, length: int) -> bytes:
+        offset = stream_offset % tx.tx_buf_size
+        base = tx.tx_buf_base
+        memory = self.tx_buffer.memory
+        first = min(length, tx.tx_buf_size - offset)
+        data = bytes(memory[base + offset:base + offset + first])
+        if first < length:
+            data += bytes(memory[base:base + (length - first)])
+        return data
+
+    def _build_segment(self, flow_id: int, payload: bytes = b"",
+                       syn: bool = False,
+                       seq: int | None = None) -> NocMessage | None:
+        rx = self.flows.rx.get(flow_id)
+        tx = self.flows.tx[flow_id]
+        if rx is None:
+            return None
+        client_ip, client_port, server_ip, server_port = rx.four_tuple
+        flags = TCP_ACK
+        if syn:
+            flags |= TCP_SYN
+            seq = tx.iss
+        elif payload:
+            flags |= TCP_PSH
+        if seq is None:
+            seq = tx.snd_nxt
+        header = TcpHeader(
+            src_port=server_port,
+            dst_port=client_port,
+            seq=seq,
+            ack=rx.rcv_nxt,  # read across the dedicated wires
+            flags=flags,
+            window=min(rx.rx_window, 0xFFFF),  # no window scaling
+        )
+        ip = IPv4Header(
+            src=IPv4Address(server_ip),
+            dst=IPv4Address(client_ip),
+            protocol=IPPROTO_TCP,
+            total_length=20 + header.header_len + len(payload),
+        )
+        tcp_bytes = header.pack_with_checksum(
+            ip.pseudo_header(header.header_len + len(payload)), payload
+        )
+        meta = PacketMeta(ip=ip, tcp=header)
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return None
+        self.segments_out += 1
+        return self.make_message(dest, metadata=meta,
+                                 data=tcp_bytes + payload)

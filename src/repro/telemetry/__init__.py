@@ -1,0 +1,19 @@
+"""Telemetry: cycle-accurate trace capture and replay (section V-F).
+
+The paper's TCP debugging workflow: logging tiles record the exact
+timing and sequence of packets entering/leaving an engine; the log is
+read back over the network; the run is then replayed cycle-accurately
+in simulation by replacing the logging tiles with the replay driver.
+:class:`FrameTraceRecorder` and :class:`TraceReplayer` are that
+workflow for our simulated designs.
+"""
+
+from repro.telemetry.replay import FrameTraceRecorder, TraceReplayer
+from repro.telemetry.stats import design_counters, design_report
+
+__all__ = [
+    "FrameTraceRecorder",
+    "TraceReplayer",
+    "design_counters",
+    "design_report",
+]

@@ -1,0 +1,74 @@
+"""Design-wide statistics reporting — the operator's view.
+
+Every tile keeps the counters the control plane can export
+(messages/bytes in and out, drops); every router counts forwarded
+flits.  ``design_report`` renders the whole design's state as a table,
+and ``design_counters`` returns the same data structured, which is
+what a monitoring pipeline would scrape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TileCounters:
+    name: str
+    kind: str
+    coord: tuple
+    messages_in: int
+    messages_out: int
+    bytes_in: int
+    bytes_out: int
+    drops: int
+
+
+def design_counters(design) -> dict:
+    """Structured counters for every tile and the NoC."""
+    tiles = []
+    for tile in design.tiles:
+        tiles.append(TileCounters(
+            name=tile.name,
+            kind=getattr(tile, "KIND", "generic"),
+            coord=tile.coord,
+            messages_in=getattr(tile, "messages_in", 0),
+            messages_out=getattr(tile, "messages_out", 0),
+            bytes_in=getattr(tile, "bytes_in", 0),
+            bytes_out=getattr(tile, "bytes_out", 0),
+            drops=getattr(tile, "drops", 0),
+        ))
+    routers = {
+        coord: router.flits_forwarded
+        for coord, router in design.mesh.routers.items()
+    }
+    return {
+        "cycle": design.sim.cycle,
+        "tiles": tiles,
+        "router_flits": routers,
+        "total_flits": design.mesh.total_flits_forwarded,
+    }
+
+
+def design_report(design) -> str:
+    """A human-readable counter dump for a design."""
+    counters = design_counters(design)
+    lines = [f"design state at cycle {counters['cycle']}",
+             f"{'tile':<14} {'kind':<14} {'coord':<8} "
+             f"{'msgs in':>8} {'msgs out':>9} {'bytes in':>10} "
+             f"{'bytes out':>10} {'drops':>6}"]
+    for tile in counters["tiles"]:
+        lines.append(
+            f"{tile.name:<14} {tile.kind:<14} "
+            f"{str(tile.coord):<8} {tile.messages_in:>8} "
+            f"{tile.messages_out:>9} {tile.bytes_in:>10} "
+            f"{tile.bytes_out:>10} {tile.drops:>6}"
+        )
+    lines.append(f"NoC flits forwarded: {counters['total_flits']}")
+    busiest = sorted(counters["router_flits"].items(),
+                     key=lambda item: -item[1])[:3]
+    rendered = ", ".join(f"{coord}: {flits}"
+                         for coord, flits in busiest if flits)
+    if rendered:
+        lines.append(f"busiest routers: {rendered}")
+    return "\n".join(lines)

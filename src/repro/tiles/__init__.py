@@ -1,0 +1,44 @@
+"""Tiles — the basic Beehive component (paper Fig. 3).
+
+Each tile couples a NoC router with NoC-message construction and
+deconstruction logic and a piece of processing logic (a protocol layer,
+a network function, or an application).  Tiles also hold the per-hop
+packet-level routing tables ("each tile hop determines the next tile",
+section IV-D), which the control plane can rewrite at runtime.
+"""
+
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
+from repro.tiles.ip import IpRxTile, IpTxTile
+from repro.tiles.udp import UdpRxTile, UdpTxTile
+from repro.tiles.buffer import BufferReadReq, BufferTile, BufferWriteReq
+from repro.tiles.nat import NatRxTile, NatTxTile
+from repro.tiles.ipinip import IpInIpDecapTile, IpInIpEncapTile
+from repro.tiles.loadbalancer import FlowHashLoadBalancerTile
+from repro.tiles.scheduler import RoundRobinSchedulerTile
+from repro.tiles.logger import PacketLogTile
+from repro.tiles.vxlan import VxlanDecapTile, VxlanEncapTile
+
+__all__ = [
+    "BufferReadReq",
+    "BufferTile",
+    "BufferWriteReq",
+    "EthernetRxTile",
+    "EthernetTxTile",
+    "FlowHashLoadBalancerTile",
+    "IpInIpDecapTile",
+    "IpInIpEncapTile",
+    "IpRxTile",
+    "IpTxTile",
+    "NatRxTile",
+    "NatTxTile",
+    "NextHopTable",
+    "PacketLogTile",
+    "PacketMeta",
+    "RoundRobinSchedulerTile",
+    "Tile",
+    "UdpRxTile",
+    "UdpTxTile",
+    "VxlanDecapTile",
+    "VxlanEncapTile",
+]

@@ -1,0 +1,272 @@
+"""The tile framework.
+
+A :class:`Tile` is the paper's basic component (Fig. 3): a NoC router
+(reached through a :class:`repro.noc.mesh.LocalPort`), message
+construction/deconstruction logic, and processing logic supplied by a
+subclass's :meth:`Tile.handle_message`.
+
+Timing model
+------------
+
+Tiles are *streaming* engines in the paper; we model them at message
+granularity with two calibrated timing knobs that together reproduce the
+latency and throughput behaviour the evaluation reports:
+
+- ``parse_latency``: cycles between the tail flit arriving and the
+  transformed output beginning to inject (header parse/deparse plus the
+  realignment shifter).  Governs per-packet *latency*.
+- ``occupancy``: the engine handles one message at a time and is busy
+  for ``max(message_flits, occupancy)`` cycles per message.  Governs
+  small-packet *throughput* (the paper's UDP stack serialises at ~13.6
+  cycles/packet — 9 Gbps of 64 B packets) while large messages stream at
+  one flit per cycle and reach line rate.
+
+Backpressure is real: the tile consumes ejected flits only while its
+internal buffer has space, a full buffer stops the router's local output,
+and a blocked wormhole message then holds its chain of NoC links — which
+is what makes the Fig. 5(a) deadlock reproducible in this simulator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
+
+from repro import params
+from repro.noc.mesh import LocalPort, Mesh
+from repro.noc.message import NocMessage
+from repro.packet.ethernet import EthernetHeader
+from repro.packet.ipv4 import IPv4Header
+from repro.packet.tcp import TcpHeader
+from repro.packet.udp import UdpHeader
+
+
+@dataclass
+class PacketMeta:
+    """Parsed-header metadata carried in a NoC message's metadata flit.
+
+    Each protocol tile fills in (RX) or consumes (TX) its layer.  The
+    ``outer_ip`` slot holds the encapsulating header for IP-in-IP
+    traffic.  ``ingress_cycle`` is the Ethernet-layer timestamp used by
+    the latency microbenchmark and the logging tiles.
+    """
+
+    eth: EthernetHeader | None = None
+    ip: IPv4Header | None = None
+    outer_ip: IPv4Header | None = None
+    udp: UdpHeader | None = None
+    tcp: TcpHeader | None = None
+    ingress_cycle: int | None = None
+    flow_hint: object = None  # app/scheduler cookie (e.g. shard id)
+
+    def clone(self) -> "PacketMeta":
+        return replace(self)
+
+    def four_tuple(self) -> tuple:
+        """(src_ip, dst_ip, src_port, dst_port) for flow hashing."""
+        l4 = self.udp or self.tcp
+        if self.ip is None or l4 is None:
+            raise ValueError("four_tuple needs ip and l4 headers")
+        return (int(self.ip.src), int(self.ip.dst),
+                l4.src_port, l4.dst_port)
+
+
+def flow_hash(key: tuple) -> int:
+    """Deterministic hash used by the load-balancing hash tables."""
+    return zlib.crc32(repr(key).encode()) & 0xFFFFFFFF
+
+
+class NextHopTable:
+    """A tile's packet-level routing component (section IV-D, V-B).
+
+    Maps a match key (ethertype, IP protocol, L4 port, ...) to one or
+    more downstream tile coordinates.  Multiple coordinates are load
+    balanced round-robin or by flow hash.  Unmatched traffic is dropped,
+    per the paper ("any packet that does not have an entry for a next
+    hop is dropped").  The control plane rewrites entries at runtime via
+    :meth:`set_entry`.
+    """
+
+    def __init__(self, name: str = "nexthop", policy: str = "flow_hash"):
+        if policy not in ("flow_hash", "round_robin"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.name = name
+        self.policy = policy
+        self._entries: dict[object, list[tuple[int, int]]] = {}
+        self._rr: dict[object, int] = {}
+        self.drops = 0
+
+    def set_entry(self, key, dests) -> None:
+        """Install/replace the destination set for ``key``.
+
+        ``dests`` is one coordinate or a list of coordinates.
+        """
+        if isinstance(dests, tuple) and len(dests) == 2 and \
+                all(isinstance(v, int) for v in dests):
+            dests = [dests]
+        dests = list(dests)
+        if not dests:
+            raise ValueError("destination list must be non-empty")
+        self._entries[key] = dests
+        self._rr.setdefault(key, 0)
+
+    def remove_entry(self, key) -> None:
+        self._entries.pop(key, None)
+
+    def keys(self) -> list:
+        return list(self._entries)
+
+    def lookup(self, key, flow_key: tuple | None = None) -> tuple | None:
+        """The next tile for ``key``, or None (drop) if unmatched."""
+        dests = self._entries.get(key)
+        if dests is None:
+            self.drops += 1
+            return None
+        if len(dests) == 1:
+            return dests[0]
+        if self.policy == "flow_hash" and flow_key is not None:
+            return dests[flow_hash(flow_key) % len(dests)]
+        index = self._rr[key]
+        self._rr[key] = (index + 1) % len(dests)
+        return dests[index]
+
+
+class Tile:
+    """Base class for every Beehive tile.
+
+    Subclasses implement :meth:`handle_message` (transform one input
+    message into zero or more outputs) and may override :meth:`on_cycle`
+    (source/application behaviour independent of message arrival).
+    """
+
+    KIND = "generic"  # key into the resource model's cost tables
+
+    def __init__(
+        self,
+        name: str,
+        mesh: Mesh,
+        coord: tuple[int, int],
+        parse_latency: int = params.TILE_PARSE_LATENCY_CYCLES,
+        occupancy: int = params.TILE_MSG_OCCUPANCY_CYCLES,
+        buffer_flits: int = 320,
+        max_tx_backlog: int = 2,
+    ):
+        self.name = name
+        self.mesh = mesh
+        self.coord = coord
+        self.port: LocalPort = mesh.attach(coord)
+        self.parse_latency = parse_latency
+        self.occupancy = occupancy
+        self.buffer_flits = buffer_flits
+        self.max_tx_backlog = max_tx_backlog
+
+        self._buffered_flits = 0
+        self._rx_ready: list[tuple[int, NocMessage]] = []  # (tail_cycle, msg)
+        self._engine_free = 0
+        self._emit_at = 0
+        self._in_service: NocMessage | None = None
+        # Statistics
+        self.messages_in = 0
+        self.messages_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.drops = 0
+
+    # -- subclass interface ---------------------------------------------------
+
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> Iterable[NocMessage]:
+        """Transform one input message into zero or more outputs."""
+        raise NotImplementedError
+
+    def on_cycle(self, cycle: int) -> None:
+        """Per-cycle hook for tiles that originate traffic."""
+
+    def service_cycles(self, message: NocMessage) -> int:
+        """Engine occupancy for one message.  Default: the flit stream
+        or the per-packet occupancy, whichever is longer.  Stateful
+        tiles override this to charge control messages less than
+        packets (e.g. the TCP engines' app-interface bookkeeping)."""
+        return max(message.n_flits, self.occupancy)
+
+    # -- helpers --------------------------------------------------------------
+
+    def make_message(self, dst: tuple[int, int], metadata=None,
+                     data: bytes = b"") -> NocMessage:
+        return NocMessage(dst=dst, src=self.coord, metadata=metadata,
+                          data=data)
+
+    def drop(self, message: NocMessage, reason: str = "") -> list:
+        self.drops += 1
+        return []
+
+    # -- clocked behaviour ----------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self.on_cycle(cycle)
+        self._pump_eject(cycle)
+        self._pump_process(cycle)
+
+    def commit(self) -> None:
+        pass  # the LocalPort (registered separately) commits the FIFOs
+
+    def _pump_eject(self, cycle: int) -> None:
+        """Consume at most one flit from the router, space permitting.
+
+        A message mid-assembly is always drained to completion (the
+        paper's tiles stream; ours must at least not wedge a wormhole
+        mid-message); the buffer cap gates the *start* of the next
+        message, which is where real backpressure bites.
+        """
+        if self._buffered_flits >= self.buffer_flits and \
+                not self.port.mid_message:
+            return
+        if self.port.eject_fifo.peek() is None:
+            return
+        self._buffered_flits += 1
+        message = self.port.receive()
+        if message is not None:
+            self._rx_ready.append((cycle, message))
+
+    def _pump_process(self, cycle: int) -> None:
+        """Run the (serialised) processing engine.
+
+        Pickup happens when the engine is free and the output side has
+        room; the transformed outputs emit ``parse_latency`` cycles
+        later; the engine then stays busy so consecutive messages are
+        spaced ``max(message_flits, occupancy)`` cycles apart — the
+        flit stream for large messages, the engine recovery for small
+        ones.
+        """
+        if self._in_service is not None and cycle >= self._emit_at:
+            self._finish_service(self._in_service, cycle)
+            self._in_service = None
+        if (self._in_service is None
+                and self._rx_ready
+                and self._rx_ready[0][0] <= cycle
+                and cycle >= self._engine_free
+                and self.port.tx_backlog < self.max_tx_backlog):
+            _tail_cycle, message = self._rx_ready.pop(0)
+            self._in_service = message
+            self._emit_at = cycle + max(1, self.parse_latency)
+            self._engine_free = cycle + self.service_cycles(message)
+
+    def _finish_service(self, message: NocMessage, cycle: int) -> None:
+        self.messages_in += 1
+        self.bytes_in += len(message.data)
+        self._buffered_flits = max(
+            0, self._buffered_flits - message.n_flits
+        )
+        outputs = self.handle_message(message, cycle)
+        for out in outputs or []:
+            self.send(out)
+
+    def send(self, message: NocMessage) -> None:
+        """Queue an output message for injection."""
+        self.messages_out += 1
+        self.bytes_out += len(message.data)
+        self.port.send(message)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}@{self.coord})"

@@ -1,0 +1,89 @@
+"""Buffer tiles: blocks of memory reachable over the NoC (section V-C).
+
+Any tile can read or write a buffer tile by sending request messages;
+replies are routed back to the requester.  The TCP engine uses buffer
+tiles for its receive/transmit windows, and applications retrieve their
+request data from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.tiles.base import Tile
+
+
+@dataclass(frozen=True)
+class BufferWriteReq:
+    """Write ``data`` (in the message body) at ``addr``."""
+
+    addr: int
+    reply_to: tuple[int, int] | None = None
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class BufferReadReq:
+    addr: int
+    length: int
+    reply_to: tuple[int, int]
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class BufferWriteAck:
+    addr: int
+    length: int
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class BufferReadResp:
+    addr: int
+    tag: object = None
+
+
+class BufferTile(Tile):
+    """A BRAM-backed (DRAM-extensible) shared memory block."""
+
+    KIND = "buffer_tile"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 size_bytes: int = 256 * 1024, **kwargs):
+        kwargs.setdefault("occupancy", 2)
+        kwargs.setdefault("parse_latency", 2)
+        super().__init__(name, mesh, coord, **kwargs)
+        self.size_bytes = size_bytes
+        self.memory = bytearray(size_bytes)
+        self.reads = 0
+        self.writes = 0
+
+    def _check_range(self, addr: int, length: int) -> bool:
+        return 0 <= addr and addr + length <= self.size_bytes
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        request = message.metadata
+        if isinstance(request, BufferWriteReq):
+            data = message.data
+            if not self._check_range(request.addr, len(data)):
+                return self.drop(message, "write out of range")
+            self.memory[request.addr:request.addr + len(data)] = data
+            self.writes += 1
+            if request.reply_to is None:
+                return []
+            ack = BufferWriteAck(addr=request.addr, length=len(data),
+                                 tag=request.tag)
+            return [self.make_message(request.reply_to, metadata=ack)]
+        if isinstance(request, BufferReadReq):
+            if not self._check_range(request.addr, request.length):
+                return self.drop(message, "read out of range")
+            self.reads += 1
+            chunk = bytes(
+                self.memory[request.addr:request.addr + request.length]
+            )
+            resp = BufferReadResp(addr=request.addr, tag=request.tag)
+            return [self.make_message(request.reply_to, metadata=resp,
+                                      data=chunk)]
+        return self.drop(message, "unknown buffer request")

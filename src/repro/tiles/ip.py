@@ -1,0 +1,86 @@
+"""IPv4 tiles.
+
+RX parses and strips the (variable-width) IPv4 header, validates its
+checksum, and routes by IP protocol number — which is also how IP-in-IP
+reaches the decap tile (protocol 4) and how a second, duplicated IP RX
+tile parses the inner header, the paper's answer to repeated headers
+breaking resource ordering (section IV-E).  TX prepends a freshly built
+header.  No fragmentation support, mirroring the paper's scoping.
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.packet.ipv4 import IPv4Address, IPv4Header
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+
+
+class IpRxTile(Tile):
+    """Parses IPv4, validates the header checksum, routes by protocol."""
+
+    KIND = "ip_rx"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 my_ip: IPv4Address | None = None, **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.my_ip = IPv4Address(my_ip) if my_ip is not None else None
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self.checksum_errors = 0
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata or PacketMeta()
+        try:
+            ip, payload = IPv4Header.unpack(message.data)
+        except ValueError:
+            self.checksum_errors += 1
+            return self.drop(message, "bad IPv4 header")
+        if ip.fragment_offset or (ip.flags & 0b001):
+            return self.drop(message, "fragmentation unsupported")
+        if self.my_ip is not None and ip.dst != self.my_ip:
+            return self.drop(message, "not our IP")
+        meta = meta.clone()
+        if meta.ip is not None:
+            meta.outer_ip = meta.ip  # second parse of an IP-in-IP packet
+        meta.ip = ip
+        dest = self.next_hop.lookup(
+            ip.protocol, flow_key=(int(ip.src), int(ip.dst))
+        )
+        if dest is None:
+            return self.drop(message, f"no handler for proto {ip.protocol}")
+        return [self.make_message(dest, metadata=meta, data=payload)]
+
+
+class IpTxTile(Tile):
+    """Prepends an IPv4 header built from the message metadata."""
+
+    KIND = "ip_tx"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self._ident = 0
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None:
+            return self.drop(message, "no IP metadata")
+        self._ident = (self._ident + 1) & 0xFFFF
+        header = IPv4Header(
+            src=meta.ip.src,
+            dst=meta.ip.dst,
+            protocol=meta.ip.protocol,
+            total_length=20 + len(message.data),
+            ttl=meta.ip.ttl,
+            identification=self._ident,
+        )
+        meta = meta.clone()
+        meta.ip = header
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return self.drop(message, "no downstream for IP TX")
+        return [self.make_message(dest, metadata=meta,
+                                  data=header.pack() + message.data)]

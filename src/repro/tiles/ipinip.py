@@ -1,0 +1,97 @@
+"""IP-in-IP encapsulation tiles for network virtualization (section V-E).
+
+Encap (TX direction) sits after the inner IP TX tile: it owns the
+virtual-IP -> physical-IP table, wraps the inner packet's metadata with
+an outer header, and forwards to a *second* IP TX tile that prepends the
+outer header bytes.  Decap (RX direction) sits after the first IP RX
+tile (which parsed the outer header, protocol 4): it validates the
+tunnel endpoint and forwards to a second IP RX tile that parses the
+inner header.  Duplicating the IP tiles rather than looping back is the
+paper's resource-ordering fix for repeated headers (section IV-E).
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.packet.ipv4 import IPPROTO_IPIP, IPv4Address, IPv4Header
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+
+
+class IpInIpEncapTile(Tile):
+    """Wraps outbound packets in an outer IP header (virtual->physical)."""
+
+    KIND = "ipinip"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 tunnel_src: IPv4Address, **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.tunnel_src = IPv4Address(tunnel_src)
+        self.endpoints: dict[IPv4Address, IPv4Address] = {}
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self.encapsulated = 0
+        self.misses = 0
+
+    def set_endpoint(self, virtual_dst: IPv4Address,
+                     physical_dst: IPv4Address) -> None:
+        self.endpoints[IPv4Address(virtual_dst)] = IPv4Address(physical_dst)
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None:
+            return self.drop(message, "no IP metadata")
+        physical = self.endpoints.get(meta.ip.dst)
+        if physical is None:
+            self.misses += 1
+            return self.drop(message, f"no tunnel for {meta.ip.dst}")
+        outer = IPv4Header(
+            src=self.tunnel_src,
+            dst=physical,
+            protocol=IPPROTO_IPIP,
+            total_length=20 + len(message.data),
+        )
+        meta = meta.clone()
+        meta.outer_ip = meta.ip
+        meta.ip = outer
+        self.encapsulated += 1
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return self.drop(message, "no downstream")
+        return [self.make_message(dest, metadata=meta, data=message.data)]
+
+
+class IpInIpDecapTile(Tile):
+    """Validates the tunnel endpoint of inbound IP-in-IP packets."""
+
+    KIND = "ipinip"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 tunnel_endpoints: set | None = None, **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.tunnel_endpoints = {
+            IPv4Address(ip) for ip in (tunnel_endpoints or set())
+        }
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self.decapsulated = 0
+
+    def allow_endpoint(self, physical_src: IPv4Address) -> None:
+        self.tunnel_endpoints.add(IPv4Address(physical_src))
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None:
+            return self.drop(message, "no outer IP metadata")
+        if meta.ip.protocol != IPPROTO_IPIP:
+            return self.drop(message, "not IP-in-IP")
+        if self.tunnel_endpoints and \
+                meta.ip.src not in self.tunnel_endpoints:
+            return self.drop(message, f"unknown tunnel {meta.ip.src}")
+        self.decapsulated += 1
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return self.drop(message, "no downstream")
+        return [self.make_message(dest, metadata=meta, data=message.data)]

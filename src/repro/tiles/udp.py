@@ -1,0 +1,81 @@
+"""UDP tiles.
+
+RX parses/strips the UDP header, validates the pseudo-header checksum,
+and routes by destination port through the control-plane-rewritable hash
+table — this table is also how replicated application tiles are load
+balanced and how log-readback ports reach logging tiles.  TX builds the
+UDP header (with checksum) around the application payload.
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.packet import udp as udp_mod
+from repro.packet.udp import UdpHeader
+from repro.tiles.base import NextHopTable, PacketMeta, Tile
+
+
+class UdpRxTile(Tile):
+    """Parses UDP, validates the checksum, routes by destination port."""
+
+    KIND = "udp_rx"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+        self.checksum_errors = 0
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None:
+            return self.drop(message, "no IP metadata")
+        try:
+            udp, payload = UdpHeader.unpack(message.data)
+        except ValueError:
+            return self.drop(message, "malformed UDP")
+        if not udp.verify(meta.ip.pseudo_header(udp.length), payload):
+            self.checksum_errors += 1
+            return self.drop(message, "UDP checksum mismatch")
+        meta = meta.clone()
+        meta.udp = udp
+        dest = self.next_hop.lookup(udp.dst_port,
+                                    flow_key=meta.four_tuple())
+        if dest is None:
+            return self.drop(message, f"no app on port {udp.dst_port}")
+        return [self.make_message(dest, metadata=meta, data=payload)]
+
+
+class UdpTxTile(Tile):
+    """Builds the UDP header (with checksum) and forwards to IP TX."""
+
+    KIND = "udp_tx"
+
+    DEFAULT = "default"
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.next_hop = NextHopTable(name=f"{name}.nexthop")
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        meta: PacketMeta = message.metadata
+        if meta is None or meta.ip is None or meta.udp is None:
+            return self.drop(message, "missing IP/UDP metadata")
+        payload = message.data
+        udp = UdpHeader(
+            src_port=meta.udp.src_port,
+            dst_port=meta.udp.dst_port,
+            length=udp_mod.HEADER_LEN + len(payload),
+        )
+        udp_bytes = udp.pack_with_checksum(
+            meta.ip.pseudo_header(udp.length), payload
+        )
+        meta = meta.clone()
+        meta.udp = udp
+        dest = self.next_hop.lookup(self.DEFAULT)
+        if dest is None:
+            return self.drop(message, "no downstream for UDP TX")
+        return [self.make_message(dest, metadata=meta,
+                                  data=udp_bytes + payload)]

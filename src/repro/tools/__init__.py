@@ -1,0 +1,1 @@
+"""Command-line tools for working with Beehive design files."""

@@ -1,0 +1,193 @@
+"""Tests for the XML design tooling: parse, validate, generate, LoC."""
+
+import pytest
+
+from repro.config import (
+    ChainSpec,
+    DesignSpec,
+    DestSpec,
+    TileSpec,
+    ValidationError,
+    build_design,
+    design_from_xml,
+    design_to_xml,
+    generate_top_level,
+    instantiation_loc,
+    validate,
+)
+from repro.config.examples import UDP_ECHO_XML
+from repro.deadlock import DeadlockError
+from repro.designs import FrameSink
+from repro.packet import (
+    IPv4Address,
+    MacAddress,
+    build_ipv4_udp_frame,
+    parse_frame,
+)
+
+CLIENT_IP = IPv4Address("10.0.0.1")
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+
+
+class TestXmlRoundtrip:
+    def test_parse_udp_echo(self):
+        design = design_from_xml(UDP_ECHO_XML)
+        assert design.name == "udp_echo"
+        assert (design.width, design.height) == (4, 2)
+        assert len(design.tiles) == 7
+        assert design.tile("eth_rx").dests[0].parsed_key() == 0x0800
+        assert design.tile("ip_rx").dests[0].parsed_key() == 17
+        assert design.tile("udp_rx").dests[0].parsed_key() == 7
+        assert design.chains[0].tiles[0] == "eth_rx"
+
+    def test_roundtrip_through_text(self):
+        design = design_from_xml(UDP_ECHO_XML)
+        text = design_to_xml(design)
+        again = design_from_xml(text)
+        assert again.coords() == design.coords()
+        assert [t.type for t in again.tiles] == \
+            [t.type for t in design.tiles]
+
+    def test_rejects_non_design_root(self):
+        with pytest.raises(ValueError):
+            design_from_xml("<chip/>")
+
+    def test_rejects_tile_without_name(self):
+        with pytest.raises(ValueError, match="name"):
+            design_from_xml(
+                '<design name="x" width="1" height="1">'
+                "<tile><type>ip_rx</type><x>0</x><y>0</y></tile>"
+                "</design>"
+            )
+
+
+class TestValidation:
+    def spec(self, **overrides):
+        design = DesignSpec(name="t", width=2, height=2)
+        design.tiles = [
+            TileSpec(name="a", type="ip_rx", x=0, y=0),
+            TileSpec(name="b", type="ip_tx", x=1, y=0),
+        ]
+        for key, value in overrides.items():
+            setattr(design, key, value)
+        return design
+
+    def test_valid_design_reports_empty_tiles(self):
+        report = validate(self.spec())
+        assert report.empty_coords == [(0, 1), (1, 1)]
+
+    def test_duplicate_coordinates_rejected(self):
+        design = self.spec()
+        design.tiles[1].x = 0
+        with pytest.raises(ValidationError, match="share coordinates"):
+            validate(design)
+
+    def test_out_of_range_rejected(self):
+        design = self.spec()
+        design.tiles[1].x = 9
+        with pytest.raises(ValidationError, match="outside"):
+            validate(design)
+
+    def test_duplicate_names_rejected(self):
+        design = self.spec()
+        design.tiles[1].name = "a"
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate(design)
+
+    def test_unknown_dest_rejected(self):
+        design = self.spec()
+        design.tiles[0].dests = [DestSpec(key="default",
+                                          targets=["ghost"])]
+        with pytest.raises(ValidationError, match="unknown tile"):
+            validate(design)
+
+    def test_chain_with_unknown_tile_rejected(self):
+        design = self.spec()
+        design.chains = [ChainSpec(tiles=["a", "ghost"])]
+        with pytest.raises(ValidationError):
+            validate(design)
+
+    def test_problems_accumulate(self):
+        design = self.spec()
+        design.tiles[1].name = "a"
+        design.tiles[1].x = 9
+        with pytest.raises(ValidationError) as excinfo:
+            validate(design)
+        assert len(excinfo.value.problems) == 2
+
+
+class TestGeneratedDesign:
+    def test_builds_and_echoes(self):
+        """The XML-generated design behaves like the handwritten one."""
+        spec = design_from_xml(UDP_ECHO_XML)
+        design = build_design(spec)
+        design.add_neighbor(CLIENT_IP, CLIENT_MAC)
+        sink = FrameSink(design.eth_tx)
+        design.sim.add(sink)
+        frame = build_ipv4_udp_frame(
+            CLIENT_MAC, MacAddress("02:be:e0:00:00:01"), CLIENT_IP,
+            IPv4Address("10.0.0.10"), 5555, 7, b"from-xml",
+        )
+        design.inject(frame, 0)
+        design.sim.run_until(lambda: sink.count >= 1, max_cycles=2000)
+        assert parse_frame(sink.frames[0][0]).payload == b"from-xml"
+
+    def test_deadlocky_layout_rejected_at_build(self):
+        """Building the Fig 5a placement fails the compile-time check."""
+        spec = design_from_xml(UDP_ECHO_XML)
+        # Swap ip_rx and udp_rx coordinates: eth->ip now crosses udp.
+        spec.tile("ip_rx").x, spec.tile("udp_rx").x = 2, 1
+        with pytest.raises(DeadlockError):
+            build_design(spec)
+
+    def test_unknown_type_rejected(self):
+        spec = DesignSpec(name="t", width=1, height=1, tiles=[
+            TileSpec(name="a", type="quantum_tile", x=0, y=0),
+        ])
+        with pytest.raises(KeyError, match="quantum_tile"):
+            build_design(spec)
+
+    def test_replicated_targets_load_balance(self):
+        spec = design_from_xml(UDP_ECHO_XML)
+        design = build_design(spec)
+        table = design.tiles["udp_rx"].next_hop
+        table.set_entry(7, [(3, 0), (3, 1)])
+        picks = {table.lookup(7, flow_key=(0, 0, p, 7))
+                 for p in range(50)}
+        assert picks == {(3, 0), (3, 1)}
+
+
+class TestTopLevelGeneration:
+    def test_wires_and_instances_present(self):
+        spec = design_from_xml(UDP_ECHO_XML)
+        text = generate_top_level(spec)
+        assert "wire [511:0] noc_0_0__to__1_0;" in text
+        assert "eth_rx_inst" in text
+        assert "udp_tx_inst" in text
+        # Empty tile auto-generated at the unoccupied (3, 1).
+        assert "empty_3_1" in text
+
+    def test_wire_count_matches_mesh(self):
+        spec = design_from_xml(UDP_ECHO_XML)
+        text = generate_top_level(spec)
+        wires = [line for line in text.splitlines()
+                 if line.startswith("wire")]
+        # 4x2 mesh: horizontal 3*2 pairs + vertical 4*1 pairs, 2 dirs.
+        assert len(wires) == (3 * 2 + 4 * 1) * 2
+
+    def test_edge_ports_tied_off(self):
+        spec = design_from_xml(UDP_ECHO_XML)
+        text = generate_top_level(spec)
+        assert "512'b0" in text
+
+
+class TestLocAccounting:
+    def test_instantiation_loc_shape(self):
+        """Adding a tile costs tens of XML/top-level lines (Table VI's
+        point: instantiating a service instance is cheap)."""
+        spec = design_from_xml(UDP_ECHO_XML)
+        loc = instantiation_loc(spec, "app")
+        assert 5 <= loc.xml_declaration <= 30
+        assert loc.xml_destination == 5   # one <dest> block in udp_rx
+        assert 10 <= loc.top_level <= 20
+        assert loc.xml_total == loc.xml_declaration + 5

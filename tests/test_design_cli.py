@@ -1,0 +1,69 @@
+"""Tests for the design-file command-line tool."""
+
+import pytest
+
+from repro.config.examples import RS_DESIGN_XML, UDP_ECHO_XML
+from repro.tools.design import main
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "design.xml"
+    path.write_text(UDP_ECHO_XML)
+    return str(path)
+
+
+@pytest.fixture
+def bad_design_file(tmp_path):
+    # Fig 5a placement: swap ip_rx / udp_rx coordinates.
+    text = UDP_ECHO_XML.replace(
+        "<name>ip_rx</name>\n    <type>ip_rx</type>\n    <x>1</x>",
+        "<name>ip_rx</name>\n    <type>ip_rx</type>\n    <x>2</x>",
+    ).replace(
+        "<name>udp_rx</name>\n    <type>udp_rx</type>\n    <x>2</x>",
+        "<name>udp_rx</name>\n    <type>udp_rx</type>\n    <x>1</x>",
+    )
+    path = tmp_path / "bad.xml"
+    path.write_text(text)
+    return str(path)
+
+
+class TestCli:
+    def test_validate_ok(self, design_file, capsys):
+        assert main(["validate", design_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "(3, 1)" in out  # the auto-generated empty tile
+
+    def test_validate_broken(self, tmp_path, capsys):
+        path = tmp_path / "broken.xml"
+        path.write_text(UDP_ECHO_XML.replace("<x>3</x>", "<x>9</x>"))
+        assert main(["validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_analyze_clean(self, design_file, capsys):
+        assert main(["analyze", design_file]) == 0
+        assert "deadlock-free" in capsys.readouterr().out
+
+    def test_analyze_deadlock(self, bad_design_file, capsys):
+        assert main(["analyze", bad_design_file]) == 2
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_generate(self, design_file, capsys):
+        assert main(["generate", design_file]) == 0
+        out = capsys.readouterr().out
+        assert "wire [511:0]" in out
+        assert "eth_rx_inst" in out
+
+    def test_loc(self, design_file, capsys):
+        assert main(["loc", design_file, "app"]) == 0
+        out = capsys.readouterr().out
+        assert "XML declaration" in out
+
+    def test_resources(self, tmp_path, capsys):
+        path = tmp_path / "rs.xml"
+        path.write_text(RS_DESIGN_XML)
+        assert main(["resources", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "rs0" in out

@@ -1,0 +1,136 @@
+"""Cross-module property tests: randomised end-to-end invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.schema import ChainSpec, DesignSpec, DestSpec, TileSpec
+from repro.config.validate import ValidationError, validate
+from repro.designs import FrameSink, UdpEchoDesign
+from repro.designs.tcp_stack import TcpServerDesign
+from repro.packet import (
+    IPv4Address,
+    MacAddress,
+    build_ipv4_udp_frame,
+    parse_frame,
+)
+from repro.tcp.peer import SoftTcpPeer
+
+CLIENT_IP = IPv4Address("10.0.0.1")
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+
+_SLOW = dict(max_examples=10, deadline=None,
+             suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestUdpEchoProperty:
+    @settings(**_SLOW)
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=2000),
+                             min_size=1, max_size=8))
+    def test_every_datagram_comes_back_intact_and_in_order(self,
+                                                           payloads):
+        """UDP echo is a bijection on arbitrary payload sequences."""
+        design = UdpEchoDesign(udp_port=7,
+                               line_rate_bytes_per_cycle=None)
+        design.add_client(CLIENT_IP, CLIENT_MAC)
+        sink = FrameSink(design.eth_tx)
+        design.sim.add(sink)
+        for payload in payloads:
+            design.inject(build_ipv4_udp_frame(
+                CLIENT_MAC, design.server_mac, CLIENT_IP,
+                design.server_ip, 5555, 7, payload,
+            ), design.sim.cycle)
+        design.sim.run_until(lambda: sink.count >= len(payloads),
+                             max_cycles=100_000)
+        echoed = [parse_frame(frame).payload
+                  for frame, _ in sink.frames]
+        assert echoed == payloads
+
+
+class TestTcpStreamProperty:
+    @settings(**_SLOW)
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=600),
+                        min_size=1, max_size=5),
+        mss=st.integers(80, 2000),
+        request_size=st.sampled_from([16, 32, 64]),
+    )
+    def test_stream_echoes_regardless_of_segmentation(self, chunks,
+                                                      mss,
+                                                      request_size):
+        """Whatever the client's send pattern and MSS, the echoed
+        byte stream equals the sent stream, truncated to whole
+        requests (the engine serves request_size units)."""
+        design = TcpServerDesign(tcp_port=5000,
+                                 request_size=request_size)
+        design.add_client(CLIENT_IP, CLIENT_MAC)
+        peer = SoftTcpPeer(design, CLIENT_IP, CLIENT_MAC,
+                           design.server_ip, 5000, wire_cycles=40)
+        peer.mss = mss
+        design.sim.add(peer)
+        peer.connect()
+        stream = b"".join(chunks)
+        for chunk in chunks:
+            peer.send(chunk)
+        whole = (len(stream) // request_size) * request_size
+        if whole == 0:
+            design.sim.run(20_000)
+            assert bytes(peer.received) == b""
+            return
+        design.sim.run_until(lambda: len(peer.received) >= whole,
+                             max_cycles=2_000_000)
+        assert bytes(peer.received[:whole]) == stream[:whole]
+
+
+def _spec_strategy():
+    names = st.lists(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+        min_size=1, max_size=6, unique=True,
+    )
+
+    @st.composite
+    def spec(draw):
+        width = draw(st.integers(1, 5))
+        height = draw(st.integers(1, 5))
+        tile_names = draw(names)
+        tiles = []
+        for name in tile_names:
+            tiles.append(TileSpec(
+                name=name,
+                type="ip_rx",
+                x=draw(st.integers(-1, width)),
+                y=draw(st.integers(-1, height)),
+                dests=[DestSpec(
+                    key="default",
+                    targets=[draw(st.sampled_from(
+                        tile_names + ["ghost"]))],
+                )] if draw(st.booleans()) else [],
+            ))
+        chains = []
+        if draw(st.booleans()):
+            chains.append(ChainSpec(tiles=draw(st.lists(
+                st.sampled_from(tile_names + ["ghost"]),
+                min_size=1, max_size=3))))
+        return DesignSpec(name="fuzz", width=width, height=height,
+                          tiles=tiles, chains=chains)
+
+    return spec()
+
+
+class TestConfigFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(spec=_spec_strategy())
+    def test_validate_never_crashes(self, spec):
+        """validate() always terminates in OK or ValidationError —
+        no exceptions leak from arbitrary design descriptions."""
+        try:
+            report = validate(spec)
+        except ValidationError:
+            return
+        # Valid designs have in-range, collision-free coordinates.
+        coords = [tile.coord for tile in spec.tiles]
+        assert len(set(coords)) == len(coords)
+        for x, y in coords:
+            assert 0 <= x < spec.width and 0 <= y < spec.height
+        assert len(report.empty_coords) == \
+            spec.width * spec.height - len(coords)

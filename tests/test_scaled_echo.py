@@ -1,0 +1,108 @@
+"""Tests for the section VII-I scaled design (28 tiles, 22 apps)."""
+
+import itertools
+
+import pytest
+
+from repro import params
+from repro.deadlock import analyze_chains
+from repro.designs import FrameSink, ScaledEchoDesign
+from repro.packet import (
+    IPv4Address,
+    MacAddress,
+    build_ipv4_udp_frame,
+    parse_frame,
+)
+from repro.resources import max_frequency_mhz
+
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+
+
+def saturating_run(design, n_flows=60, cycles=15_000):
+    ips = [IPv4Address(f"10.0.2.{i}") for i in range(1, n_flows + 1)]
+    for ip in ips:
+        design.add_client(ip, CLIENT_MAC)
+    frames = [
+        build_ipv4_udp_frame(CLIENT_MAC, design.server_mac, ip,
+                             design.server_ip, 5000 + j, 7, bytes(64))
+        for j, ip in enumerate(ips)
+    ]
+    cycler = itertools.cycle(frames)
+
+    class Source:
+        def __init__(self):
+            self._free = 0
+
+        def step(self, cycle):
+            if cycle >= self._free:
+                design.inject(next(cycler), cycle)
+                self._free = cycle + 2
+
+        def commit(self):
+            pass
+
+    sink = FrameSink(design.eth_tx, keep_frames=False)
+    design.sim.add(Source())
+    design.sim.add(sink)
+    design.sim.run(cycles)
+    return sink
+
+
+class TestScaledEcho:
+    def test_paper_configuration_builds(self):
+        """22 app tiles + 6 stack tiles = the paper's 28-tile design."""
+        design = ScaledEchoDesign(n_apps=22)
+        assert design.total_tiles == params.MAX_PLACEABLE_TILES
+        assert max_frequency_mhz(design.total_tiles) >= 250.0
+
+    def test_all_chains_deadlock_free(self):
+        design = ScaledEchoDesign(n_apps=22)
+        assert len(design.chains) == 22
+        assert analyze_chains(design.chains,
+                              design.tile_coords) is None
+
+    def test_apps_share_the_load(self):
+        design = ScaledEchoDesign(n_apps=22)
+        sink = saturating_run(design, n_flows=120)
+        assert sink.count > 500
+        served = [app.requests for app in design.apps]
+        # Flow hashing spreads 120 flows across nearly every replica.
+        assert sum(1 for count in served if count > 0) >= 20
+
+    def test_flows_are_sticky(self):
+        """A flow always lands on the same app tile (flow hashing)."""
+        design = ScaledEchoDesign(n_apps=8)
+        ip = IPv4Address("10.0.2.1")
+        design.add_client(ip, CLIENT_MAC)
+        frame = build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
+                                     ip, design.server_ip, 5555, 7,
+                                     bytes(64))
+        sink = FrameSink(design.eth_tx, keep_frames=False)
+        design.sim.add(sink)
+        for _ in range(12):
+            design.inject(frame, design.sim.cycle)
+        design.sim.run_until(lambda: sink.count >= 12,
+                             max_cycles=10_000)
+        served = sorted(app.requests for app in design.apps)
+        assert served == [0] * 7 + [12]
+
+    def test_replies_are_correct(self):
+        design = ScaledEchoDesign(n_apps=5)
+        ip = IPv4Address("10.0.2.9")
+        design.add_client(ip, CLIENT_MAC)
+        frame = build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
+                                     ip, design.server_ip, 4141, 7,
+                                     b"scaled out")
+        sink = FrameSink(design.eth_tx)
+        design.sim.add(sink)
+        design.inject(frame, 0)
+        design.sim.run_until(lambda: sink.count >= 1, max_cycles=5000)
+        reply = parse_frame(sink.frames[0][0])
+        assert reply.payload == b"scaled out"
+        assert reply.udp.dst_port == 4141
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ScaledEchoDesign(n_apps=23)
+        with pytest.raises(ValueError):
+            ScaledEchoDesign(n_apps=0)

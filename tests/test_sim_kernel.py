@@ -1,0 +1,144 @@
+"""Tests for the cycle-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import CycleSimulator, StagedFifo
+
+
+class Counter:
+    """Test component: counts its step/commit invocations."""
+
+    def __init__(self):
+        self.steps = 0
+        self.commits = 0
+
+    def step(self, cycle):
+        self.steps += 1
+        self.last_cycle = cycle
+
+    def commit(self):
+        self.commits += 1
+
+
+class TestStagedFifo:
+    def test_push_not_visible_until_commit(self):
+        fifo = StagedFifo()
+        fifo.push("a")
+        assert len(fifo) == 0
+        assert fifo.peek() is None
+        fifo.commit()
+        assert len(fifo) == 1
+        assert fifo.peek() == "a"
+
+    def test_fifo_order(self):
+        fifo = StagedFifo()
+        for item in ("a", "b", "c"):
+            fifo.push(item)
+        fifo.commit()
+        assert [fifo.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_capacity_counts_staged(self):
+        fifo = StagedFifo(capacity=2)
+        fifo.push(1)
+        assert fifo.can_accept()
+        fifo.push(2)
+        assert not fifo.can_accept()
+        with pytest.raises(OverflowError):
+            fifo.push(3)
+
+    def test_capacity_frees_on_pop(self):
+        fifo = StagedFifo(capacity=1)
+        fifo.push(1)
+        fifo.commit()
+        assert not fifo.can_accept()
+        fifo.pop()
+        assert fifo.can_accept()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            StagedFifo().pop()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StagedFifo(capacity=0)
+
+    def test_occupancy_tracks_both(self):
+        fifo = StagedFifo()
+        fifo.push(1)
+        fifo.commit()
+        fifo.push(2)
+        assert len(fifo) == 1
+        assert fifo.occupancy == 2
+
+    def test_drain(self):
+        fifo = StagedFifo()
+        fifo.push(1)
+        fifo.push(2)
+        fifo.commit()
+        assert fifo.drain() == [1, 2]
+        assert len(fifo) == 0
+
+
+class TestCycleSimulator:
+    def test_step_then_commit_each_cycle(self):
+        sim = CycleSimulator()
+        comp = Counter()
+        sim.add(comp)
+        sim.run(5)
+        assert comp.steps == 5
+        assert comp.commits == 5
+        assert sim.cycle == 5
+
+    def test_run_until(self):
+        sim = CycleSimulator()
+        comp = Counter()
+        sim.add(comp)
+        consumed = sim.run_until(lambda: comp.steps >= 3)
+        assert consumed == 3
+
+    def test_run_until_timeout(self):
+        sim = CycleSimulator()
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_registered_fifo_commits(self):
+        sim = CycleSimulator()
+        fifo = sim.register_fifo(StagedFifo())
+
+        class Producer:
+            def step(self, cycle):
+                fifo.push(cycle)
+
+            def commit(self):
+                pass
+
+        sim.add(Producer())
+        sim.run(3)
+        # Cycle 2's push commits at end of cycle 2; all three visible.
+        assert fifo.drain() == [0, 1, 2]
+
+    def test_two_phase_isolation(self):
+        """A consumer never sees a value pushed in the same cycle."""
+        sim = CycleSimulator()
+        fifo = StagedFifo()
+        seen = []
+
+        class Producer:
+            def step(self, cycle):
+                fifo.push(cycle)
+
+            def commit(self):
+                fifo.commit()
+
+        class Observer:
+            def step(self, cycle):
+                if fifo.peek() is not None:
+                    seen.append((cycle, fifo.pop()))
+
+            def commit(self):
+                pass
+
+        sim.add(Producer())
+        sim.add(Observer())
+        sim.run(4)
+        assert seen == [(1, 0), (2, 1), (3, 2)]

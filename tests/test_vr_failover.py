@@ -1,0 +1,70 @@
+"""Leader-validation tests: the witness's actual job.
+
+"Our accelerator operates as a witness, that is, it only validates the
+leader and tracks the operation order" (section VI-B).  The safety
+property that matters: once the view moves on (a new leader was
+elected), a deposed leader can never again get operations verified —
+so it can never commit and reply to clients with stale authority.
+"""
+
+from repro.apps.vr.cluster import VrExperiment
+from repro.apps.vr.witness import WitnessDecision
+
+
+class TestDeposedLeader:
+    def test_stale_leader_commits_nothing_after_view_change(self):
+        experiment = VrExperiment(shards=1, witness_kind="fpga",
+                                  n_clients=3)
+        for client in experiment.clients:
+            client.start()
+        experiment.sim.run_until(0.05)
+        leader = experiment.leaders[0]
+        witness = experiment.witnesses[0]
+        completed_before = leader.completed
+        assert completed_before > 0
+
+        # A view change happens elsewhere (new leader elected): the
+        # witness adopts view 1.  Our leader still believes it leads
+        # view 0.
+        witness.state.handle_prepare(view=1, opnum=witness.state
+                                     .last_opnum + 1, digest=b"new")
+
+        # Let the deposed leader's in-flight pipeline drain, then run
+        # a long further window.
+        experiment.sim.run_until(0.06)
+        drained = leader.completed
+        experiment.sim.run_until(0.25)
+
+        # Safety: nothing committed on the stale view.
+        assert leader.completed == drained
+        assert witness.state.rejected > 0  # stale prepares refused
+
+    def test_witness_serves_the_new_view(self):
+        """After adopting a new view, in-order prepares for it are
+        verified normally — the witness follows the epoch, not the
+        node."""
+        experiment = VrExperiment(shards=1, witness_kind="cpu",
+                                  n_clients=1)
+        witness = experiment.witnesses[0]
+        state = witness.state
+        assert state.handle_prepare(0, 1, b"a") == \
+            WitnessDecision.ACCEPT
+        # New leader, new view, continuing the op sequence.
+        assert state.handle_prepare(3, 2, b"b") == \
+            WitnessDecision.ACCEPT
+        assert state.view == 3
+        # The old leader's next op is refused.
+        assert state.handle_prepare(0, 3, b"c") == \
+            WitnessDecision.STALE_VIEW
+        assert state.last_opnum == 2
+
+    def test_replicas_never_ahead_of_leader(self):
+        """Replica state is always a prefix of the leader's commits."""
+        experiment = VrExperiment(shards=2, witness_kind="fpga",
+                                  n_clients=4)
+        for client in experiment.clients:
+            client.start()
+        experiment.sim.run_until(0.1)
+        for leader, replica in zip(experiment.leaders,
+                                   experiment.replicas):
+            assert replica.kv.writes <= leader.kv.writes
