@@ -13,14 +13,13 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.config.schema import DesignSpec, DestSpec, TileSpec
+from repro.config.schema import DesignSpec, TileSpec
 from repro.config.validate import validate
 from repro.deadlock.analysis import assert_deadlock_free
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address
 from repro.sim.kernel import CycleSimulator
-from repro.tiles.base import Tile
 from repro.tiles.buffer import BufferTile
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.noc.routing import Port, route_path, xy_route, xy_route_path
+from repro.noc.routing import Port, route_path, xy_route
 
 Coord = tuple
 Resource = tuple  # ((x, y), Port)

@@ -39,6 +39,9 @@ class Flit:
     src: tuple[int, int]
     msg_id: int
     payload: object = None
+    # End-to-end packet correlation id, carried on the header flit so
+    # reassembled messages keep the identity tracing assigned upstream.
+    packet_id: int | None = None
     seq: int = field(default_factory=lambda: next(_flit_counter))
 
     def __post_init__(self):

@@ -15,6 +15,7 @@ from repro.noc.router import Router
 from repro.noc.routing import Port
 from repro.params import ROUTER_INPUT_FIFO_FLITS
 from repro.sim.kernel import CycleSimulator, StagedFifo
+from repro.telemetry.trace import NULL_TRACER
 
 
 class LocalPort:
@@ -31,6 +32,8 @@ class LocalPort:
     tile framework does this automatically).
     """
 
+    tracer = NULL_TRACER
+
     def __init__(self, router: Router, eject_depth: int = 4):
         self.router = router
         self.coord = router.coord
@@ -41,6 +44,7 @@ class LocalPort:
         self._assembler = MessageAssembler()
         self._pending_flits: list[Flit] = []
         self._send_queue: list[NocMessage] = []
+        self._injecting: NocMessage | None = None
         self.messages_sent = 0
         self.messages_received = 0
         self.flits_injected = 0
@@ -62,12 +66,20 @@ class LocalPort:
         if not self._pending_flits and self._send_queue:
             message = self._send_queue.pop(0)
             self._pending_flits = message.to_flits()
+            self._injecting = message
             self.messages_sent += 1
+            if self.tracer.enabled:
+                self.tracer.inject_start(cycle, self.coord, message)
         if self._pending_flits:
             local_in = self.router.inputs[Port.LOCAL]
             if local_in.can_accept():
                 local_in.push(self._pending_flits.pop(0))
                 self.flits_injected += 1
+                if not self._pending_flits:
+                    if self.tracer.enabled and self._injecting is not None:
+                        self.tracer.inject_end(cycle, self.coord,
+                                               self._injecting)
+                    self._injecting = None
 
     def commit(self) -> None:
         self.eject_fifo.commit()
@@ -142,6 +154,11 @@ class Mesh:
         port = LocalPort(self.routers[coord], eject_depth)
         self._ports[coord] = port
         return port
+
+    @property
+    def ports(self) -> dict[tuple[int, int], "LocalPort"]:
+        """All attached local ports, keyed by coordinate."""
+        return self._ports
 
     def register(self, simulator: CycleSimulator) -> None:
         """Add all routers and attached ports to a simulator."""

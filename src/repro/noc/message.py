@@ -16,6 +16,18 @@ from repro.noc.flit import Flit, FlitKind
 from repro.params import FLIT_BYTES, NOC_MAX_PAYLOAD_BYTES
 
 _msg_counter = itertools.count(1)
+_packet_counter = itertools.count(1)
+
+
+def next_packet_id() -> int:
+    """Allocate a design-wide monotonically increasing packet id.
+
+    Assigned when a packet first enters a design (MAC-side ingress or a
+    source tile's first send) and propagated through every NoC message
+    derived from it, so tracing can stitch per-tile spans into one
+    end-to-end latency span.
+    """
+    return next(_packet_counter)
 
 
 @dataclass
@@ -34,6 +46,10 @@ class NocMessage:
     data: bytes = b""
     n_meta_flits: int = 1
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    # Which wire packet this message descends from (see next_packet_id).
+    # None until the packet enters a design; the tile framework assigns
+    # and propagates it.
+    packet_id: int | None = None
 
     def __post_init__(self):
         if len(self.data) > NOC_MAX_PAYLOAD_BYTES:
@@ -65,6 +81,7 @@ class NocMessage:
             src=self.src,
             msg_id=self.msg_id,
             payload=None,
+            packet_id=self.packet_id,
         ))
         for i in range(self.n_meta_flits):
             is_last = (i == self.n_meta_flits - 1) and self.n_data_flits == 0
@@ -118,6 +135,7 @@ class MessageAssembler:
                 "dst": flit.dst,
                 "src": flit.src,
                 "msg_id": flit.msg_id,
+                "packet_id": flit.packet_id,
                 "metadata": None,
                 "meta_count": 0,
                 "chunks": [],
@@ -145,6 +163,7 @@ class MessageAssembler:
                 metadata=state["metadata"],
                 data=b"".join(state["chunks"]),
                 n_meta_flits=state["meta_count"],
+                packet_id=state["packet_id"],
             )
             message.msg_id = state["msg_id"]
             return message

@@ -19,6 +19,7 @@ from repro.noc.flit import Flit
 from repro.noc.routing import Port, xy_route
 from repro.params import ROUTER_INPUT_FIFO_FLITS
 from repro.sim.kernel import StagedFifo
+from repro.telemetry.trace import NULL_TRACER
 
 _DIRECTIONS = [Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH]
 _ALL_PORTS = [Port.LOCAL] + _DIRECTIONS
@@ -26,6 +27,9 @@ _ALL_PORTS = [Port.LOCAL] + _DIRECTIONS
 
 class Router:
     """One mesh router.  Wired up by :class:`repro.noc.mesh.Mesh`."""
+
+    # Tracing sink (shared no-op unless attach_tracer replaces it).
+    tracer = NULL_TRACER
 
     def __init__(self, coord: tuple[int, int],
                  fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
@@ -74,12 +78,12 @@ class Router:
                 continue
             owner = self._grant[out_port]
             if owner is not None:
-                self._advance_locked(out_port, owner, downstream,
+                self._advance_locked(cycle, out_port, owner, downstream,
                                      moved_inputs)
             else:
-                self._arbitrate(out_port, downstream, moved_inputs)
+                self._arbitrate(cycle, out_port, downstream, moved_inputs)
 
-    def _advance_locked(self, out_port: Port, owner: Port,
+    def _advance_locked(self, cycle: int, out_port: Port, owner: Port,
                         downstream: StagedFifo,
                         moved_inputs: set[Port]) -> None:
         """Move the next body flit of the message holding ``out_port``."""
@@ -87,17 +91,28 @@ class Router:
             return
         fifo = self.inputs[owner]
         flit = fifo.peek()
-        if flit is None or not downstream.can_accept():
+        if flit is None:
+            return
+        if not downstream.can_accept():
+            # A locked wormhole that cannot advance: the downstream FIFO
+            # is out of credits, so the whole chain behind it stalls.
+            if self.tracer.enabled:
+                self.tracer.link_stall(cycle, self.coord, out_port.value,
+                                       "wormhole_stall")
             return
         fifo.pop()
         downstream.push(flit)
         moved_inputs.add(owner)
         self.flits_forwarded += 1
         self.flits_per_output[out_port] += 1
+        if self.tracer.enabled:
+            self.tracer.flit_forwarded(cycle, self.coord, out_port.value,
+                                       flit)
         if flit.is_tail:
             self._grant[out_port] = None
 
-    def _arbitrate(self, out_port: Port, downstream: StagedFifo,
+    def _arbitrate(self, cycle: int, out_port: Port,
+                   downstream: StagedFifo,
                    moved_inputs: set[Port]) -> None:
         """Round-robin among inputs whose head flit wants ``out_port``."""
         n = len(_ALL_PORTS)
@@ -112,12 +127,20 @@ class Router:
             if self._route(flit) != out_port:
                 continue
             if not downstream.can_accept():
+                # A head flit lost to downstream credit exhaustion.
+                if self.tracer.enabled:
+                    self.tracer.link_stall(cycle, self.coord,
+                                           out_port.value,
+                                           "credit_exhausted")
                 return  # head is blocked; output stays free this cycle
             self.inputs[in_port].pop()
             downstream.push(flit)
             moved_inputs.add(in_port)
             self.flits_forwarded += 1
             self.flits_per_output[out_port] += 1
+            if self.tracer.enabled:
+                self.tracer.flit_forwarded(cycle, self.coord,
+                                           out_port.value, flit)
             if not flit.is_tail:
                 self._grant[out_port] = in_port
             self._rr[out_port] = (_ALL_PORTS.index(in_port) + 1) % n

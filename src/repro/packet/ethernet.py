@@ -7,7 +7,7 @@ The Beehive Ethernet receive processor handles VLAN-tagged packets
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 ETHERTYPE_IPV4 = 0x0800
 ETHERTYPE_ARP = 0x0806

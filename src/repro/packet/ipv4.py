@@ -9,7 +9,7 @@ paper's scoping for intra-datacenter services.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.packet.checksum import internet_checksum, verify_checksum
 

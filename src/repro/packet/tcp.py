@@ -7,7 +7,7 @@ case the paper's realignment shifter handles (section V-B).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.packet.checksum import internet_checksum
 

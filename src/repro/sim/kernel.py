@@ -84,17 +84,36 @@ class StagedFifo:
             self._staged.clear()
 
     def drain(self) -> list:
-        """Pop and return all committed items (testing convenience)."""
+        """Pop and return *everything*: committed items, then staged.
+
+        Draining empties the FIFO completely — the staging buffer is
+        cleared too, so nothing silently becomes visible on the next
+        ``commit``.  Committed items come first (they are older); staged
+        items follow in push order.  Mid-simulation use still breaks the
+        two-phase abstraction (a drain observes writes from the current
+        cycle), so this remains a between-runs/testing convenience.
+        """
         out = list(self._items)
+        out.extend(self._staged)
         self._items.clear()
+        self._staged.clear()
         return out
 
 
 class CycleSimulator:
-    """Drives a set of :class:`ClockedComponent` objects cycle by cycle."""
+    """Drives a set of :class:`ClockedComponent` objects cycle by cycle.
 
-    def __init__(self):
+    ``tracer`` is the observability event bus
+    (:mod:`repro.telemetry.trace`); it defaults to the shared no-op
+    tracer, so an untraced simulation pays a single attribute test per
+    tick.  Use :func:`repro.telemetry.trace.attach_tracer` to wire a
+    recording tracer into a whole design.
+    """
+
+    def __init__(self, tracer=None):
+        from repro.telemetry.trace import NULL_TRACER
         self.cycle = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._components: list[ClockedComponent] = []
         self._fifos: list[StagedFifo] = []
 
@@ -116,6 +135,8 @@ class CycleSimulator:
 
     def tick(self) -> None:
         """Advance the simulation by one clock cycle."""
+        if self.tracer.enabled:
+            self.tracer.cycle_start(self.cycle)
         for component in self._components:
             component.step(self.cycle)
         for component in self._components:

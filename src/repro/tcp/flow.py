@@ -12,7 +12,7 @@ slightly stale values as the paper's asynchrony argument allows.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 SEQ_MOD = 1 << 32
 

@@ -10,10 +10,26 @@ workflow for our simulated designs.
 
 from repro.telemetry.replay import FrameTraceRecorder, TraceReplayer
 from repro.telemetry.stats import design_counters, design_report
+from repro.telemetry.trace import (
+    NULL_TRACER,
+    MetricsWindow,
+    NullTracer,
+    Tracer,
+    attach_tracer,
+    chrome_trace_events,
+    write_chrome_trace,
+)
 
 __all__ = [
     "FrameTraceRecorder",
+    "MetricsWindow",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
     "TraceReplayer",
+    "attach_tracer",
+    "chrome_trace_events",
     "design_counters",
     "design_report",
+    "write_chrome_trace",
 ]

@@ -1,15 +1,20 @@
 """Design-wide statistics reporting — the operator's view.
 
 Every tile keeps the counters the control plane can export
-(messages/bytes in and out, drops); every router counts forwarded
-flits.  ``design_report`` renders the whole design's state as a table,
-and ``design_counters`` returns the same data structured, which is
-what a monitoring pipeline would scrape.
+(messages/bytes in and out, drops with reasons); every router counts
+forwarded flits.  ``design_report`` renders the whole design's state as
+a table, and ``design_counters`` returns the same data structured,
+which is what a monitoring pipeline would scrape.
+
+When a design ran under a :class:`repro.telemetry.trace.Tracer`,
+``design_report`` accepts the tracer's :class:`MetricsWindow` and
+appends the time-series view: per-window link utilization, latency
+percentiles, and drops.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -22,12 +27,16 @@ class TileCounters:
     bytes_in: int
     bytes_out: int
     drops: int
+    drop_reasons: dict = field(default_factory=dict)
 
 
 def design_counters(design) -> dict:
     """Structured counters for every tile and the NoC."""
     tiles = []
-    for tile in design.tiles:
+    design_tiles = design.tiles
+    if isinstance(design_tiles, dict):
+        design_tiles = design_tiles.values()
+    for tile in design_tiles:
         tiles.append(TileCounters(
             name=tile.name,
             kind=getattr(tile, "KIND", "generic"),
@@ -37,6 +46,7 @@ def design_counters(design) -> dict:
             bytes_in=getattr(tile, "bytes_in", 0),
             bytes_out=getattr(tile, "bytes_out", 0),
             drops=getattr(tile, "drops", 0),
+            drop_reasons=dict(getattr(tile, "drop_reasons", {}) or {}),
         ))
     routers = {
         coord: router.flits_forwarded
@@ -50,8 +60,49 @@ def design_counters(design) -> dict:
     }
 
 
-def design_report(design) -> str:
-    """A human-readable counter dump for a design."""
+def _render_windows(metrics) -> list[str]:
+    """The per-window metrics table appended to a traced report."""
+    samples = metrics.samples()
+    lines = [
+        "",
+        f"per-window metrics (window = {metrics.window_cycles} cycles):",
+        f"{'window':<16} {'pkts':>5} {'p50':>6} {'p99':>6} "
+        f"{'busiest link':<22} {'util%':>6} {'drops':>6}",
+    ]
+    for sample in samples:
+        busiest = sample.busiest_link
+        if busiest is not None:
+            (coord, port), util = busiest
+            link = f"{coord}->{port}"
+            util_text = f"{util * 100:.1f}"
+        else:
+            link, util_text = "-", "-"
+        p50 = "-" if sample.p50 is None else f"{sample.p50:.0f}"
+        p99 = "-" if sample.p99 is None else f"{sample.p99:.0f}"
+        label = f"[{sample.start},{sample.end})"
+        lines.append(
+            f"{label:<16} "
+            f"{len(sample.latencies):>5} {p50:>6} {p99:>6} "
+            f"{link:<22} {util_text:>6} "
+            f"{sum(sample.drops.values()):>6}"
+        )
+    stats = metrics.latency_stats()
+    if stats["count"]:
+        lines.append(
+            f"packet latency: n={stats['count']} "
+            f"min={stats['min']} p50={stats['p50']:.0f} "
+            f"p99={stats['p99']:.0f} max={stats['max']} cycles"
+        )
+    return lines
+
+
+def design_report(design, metrics=None) -> str:
+    """A human-readable counter dump for a design.
+
+    ``metrics`` is an optional
+    :class:`repro.telemetry.trace.MetricsWindow` over the tracer the
+    design ran with; when given, the windowed time-series is appended.
+    """
     counters = design_counters(design)
     lines = [f"design state at cycle {counters['cycle']}",
              f"{'tile':<14} {'kind':<14} {'coord':<8} "
@@ -71,4 +122,14 @@ def design_report(design) -> str:
                          for coord, flits in busiest if flits)
     if rendered:
         lines.append(f"busiest routers: {rendered}")
+    reason_lines = []
+    for tile in counters["tiles"]:
+        for reason, count in sorted(tile.drop_reasons.items(),
+                                    key=lambda item: -item[1]):
+            reason_lines.append(f"  {tile.name}: {reason} ({count})")
+    if reason_lines:
+        lines.append("drop reasons:")
+        lines.extend(reason_lines)
+    if metrics is not None:
+        lines.extend(_render_windows(metrics))
     return "\n".join(lines)

@@ -30,12 +30,14 @@ is what makes the Fig. 5(a) deadlock reproducible in this simulator.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Iterable
 
 from repro import params
 from repro.noc.mesh import LocalPort, Mesh
-from repro.noc.message import NocMessage
+from repro.noc.message import NocMessage, next_packet_id
+from repro.telemetry.trace import NULL_TRACER
 from repro.packet.ethernet import EthernetHeader
 from repro.packet.ipv4 import IPv4Header
 from repro.packet.tcp import TcpHeader
@@ -142,6 +144,9 @@ class Tile:
 
     KIND = "generic"  # key into the resource model's cost tables
 
+    # Tracing sink (shared no-op unless attach_tracer replaces it).
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         name: str,
@@ -166,12 +171,16 @@ class Tile:
         self._engine_free = 0
         self._emit_at = 0
         self._in_service: NocMessage | None = None
+        # (message, cycle) while handle_message runs — lets drop() and
+        # send() know which input packet the outputs descend from.
+        self._service_ctx: tuple[NocMessage, int] | None = None
         # Statistics
         self.messages_in = 0
         self.messages_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
         self.drops = 0
+        self.drop_reasons: Counter = Counter()
 
     # -- subclass interface ---------------------------------------------------
 
@@ -197,8 +206,14 @@ class Tile:
         return NocMessage(dst=dst, src=self.coord, metadata=metadata,
                           data=data)
 
-    def drop(self, message: NocMessage, reason: str = "") -> list:
+    def drop(self, message: NocMessage | None, reason: str = "") -> list:
+        reason = reason or "unspecified"
         self.drops += 1
+        self.drop_reasons[reason] += 1
+        if self.tracer.enabled:
+            cycle = (self._service_ctx[1]
+                     if self._service_ctx is not None else None)
+            self.tracer.drop(cycle, self, message, reason)
         return []
 
     # -- clocked behaviour ----------------------------------------------------
@@ -228,6 +243,9 @@ class Tile:
         message = self.port.receive()
         if message is not None:
             self._rx_ready.append((cycle, message))
+            if self.tracer.enabled:
+                self.tracer.message_received(cycle, self, message)
+                self.tracer.buffer_level(cycle, self, self._buffered_flits)
 
     def _pump_process(self, cycle: int) -> None:
         """Run the (serialised) processing engine.
@@ -248,9 +266,17 @@ class Tile:
                 and cycle >= self._engine_free
                 and self.port.tx_backlog < self.max_tx_backlog):
             _tail_cycle, message = self._rx_ready.pop(0)
-            self._in_service = message
-            self._emit_at = cycle + max(1, self.parse_latency)
-            self._engine_free = cycle + self.service_cycles(message)
+            self._begin_service(message, cycle,
+                                self.service_cycles(message))
+
+    def _begin_service(self, message: NocMessage, cycle: int,
+                       busy_cycles: int) -> None:
+        """Engine pickup: occupy the engine for ``busy_cycles``."""
+        self._in_service = message
+        self._emit_at = cycle + max(1, self.parse_latency)
+        self._engine_free = cycle + busy_cycles
+        if self.tracer.enabled:
+            self.tracer.processing_start(cycle, self, message)
 
     def _finish_service(self, message: NocMessage, cycle: int) -> None:
         self.messages_in += 1
@@ -258,12 +284,33 @@ class Tile:
         self._buffered_flits = max(
             0, self._buffered_flits - message.n_flits
         )
-        outputs = self.handle_message(message, cycle)
-        for out in outputs or []:
-            self.send(out)
+        if message.packet_id is None:
+            message.packet_id = next_packet_id()
+        self._service_ctx = (message, cycle)
+        sent_before = self.messages_out
+        try:
+            outputs = self.handle_message(message, cycle)
+            for out in outputs or []:
+                self.send(out)
+        finally:
+            self._service_ctx = None
+        if self.tracer.enabled:
+            self.tracer.processing_end(cycle, self, message,
+                                       self.messages_out - sent_before)
+            self.tracer.buffer_level(cycle, self, self._buffered_flits)
 
     def send(self, message: NocMessage) -> None:
-        """Queue an output message for injection."""
+        """Queue an output message for injection.
+
+        Outputs emitted while an input is in service inherit its
+        ``packet_id`` (the end-to-end correlation id tracing spans are
+        stitched by); source-originated messages get a fresh one.
+        """
+        if message.packet_id is None:
+            if self._service_ctx is not None:
+                message.packet_id = self._service_ctx[0].packet_id
+            else:
+                message.packet_id = next_packet_id()
         self.messages_out += 1
         self.bytes_out += len(message.data)
         self.port.send(message)

@@ -14,7 +14,7 @@ from collections import deque
 
 from repro import params
 from repro.noc.mesh import Mesh
-from repro.noc.message import NocMessage
+from repro.noc.message import NocMessage, next_packet_id
 from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetHeader, MacAddress
 from repro.packet.ipv4 import IPv4Address
 from repro.tiles.base import NextHopTable, PacketMeta, Tile
@@ -40,7 +40,8 @@ class EthernetRxTile(Tile):
         """Deliver one wire frame from the MAC (fully arrived at
         ``cycle``)."""
         pseudo = NocMessage(dst=self.coord, src=self.coord, metadata=None,
-                            data=frame, n_meta_flits=0)
+                            data=frame, n_meta_flits=0,
+                            packet_id=next_packet_id())
         self._rx_ready.append((cycle, pseudo))
 
     def handle_message(self, message: NocMessage, cycle: int):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro import params
 from repro.noc.mesh import Mesh
-from repro.noc.message import NocMessage
+from repro.noc.message import NocMessage, next_packet_id
 from repro.packet.ethernet import EthernetHeader
 from repro.packet.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Header
 from repro.packet.tcp import TcpHeader
@@ -42,7 +42,8 @@ class FlowHashLoadBalancerTile(Tile):
 
     def push_frame(self, frame: bytes, cycle: int) -> None:
         pseudo = NocMessage(dst=self.coord, src=self.coord, metadata=None,
-                            data=frame, n_meta_flits=0)
+                            data=frame, n_meta_flits=0,
+                            packet_id=next_packet_id())
         self._rx_ready.append((cycle, pseudo))
 
     def _pump_process(self, cycle: int) -> None:
@@ -57,10 +58,10 @@ class FlowHashLoadBalancerTile(Tile):
                 and cycle >= self._engine_free
                 and self.port.tx_backlog < self.max_tx_backlog):
             _tail, message = self._rx_ready.pop(0)
-            self._in_service = message
-            self._emit_at = cycle + max(1, self.parse_latency)
-            self._engine_free = cycle + message.n_flits + \
-                params.LOAD_BALANCER_RECOVERY_CYCLES
+            self._begin_service(
+                message, cycle,
+                message.n_flits + params.LOAD_BALANCER_RECOVERY_CYCLES,
+            )
 
     def _pick(self, frame: bytes) -> tuple[int, int] | None:
         if not self.stacks:

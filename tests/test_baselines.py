@@ -22,7 +22,6 @@ from repro.packet import (
     IPv4Address,
     MacAddress,
     build_ipv4_udp_frame,
-    parse_frame,
 )
 from repro.sim.kernel import CycleSimulator
 

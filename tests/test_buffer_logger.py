@@ -1,7 +1,5 @@
 """Tests for buffer tiles, logging tiles, and the distribution tiles."""
 
-import pytest
-
 from repro.noc import Mesh, NocMessage
 from repro.packet import build_ipv4_udp_frame, IPv4Address, MacAddress
 from repro.sim.kernel import CycleSimulator
@@ -17,7 +15,6 @@ from repro.tiles.loadbalancer import FlowHashLoadBalancerTile
 from repro.tiles.logger import LogEntry, LogReadReq, LogReadResp, PacketLogTile
 from repro.tiles.scheduler import RoundRobinSchedulerTile
 from repro.packet.tcp import TcpHeader
-from repro.packet.udp import UdpHeader
 
 
 class Collector(Tile):

@@ -3,8 +3,6 @@ controller, and the end-to-end client-migration reconfiguration."""
 
 import json
 
-import pytest
-
 from repro.control import (
     ControlAck,
     ControlPlane,

@@ -8,8 +8,6 @@ request and re-requests entries whose responses it never receives
 
 import struct
 
-import pytest
-
 from repro.designs import FrameSink
 from repro.designs.udp_stack import LoggedUdpEchoDesign
 from repro.packet import (

@@ -1,7 +1,5 @@
 """Tests for the NAT and IP-in-IP network-function tiles (section V-E)."""
 
-import pytest
-
 from repro.designs import FrameSink, IpInIpEchoDesign, NatEchoDesign
 from repro.packet import IPv4Address, MacAddress, parse_frame
 from repro.packet.builder import build_ipinip_udp_frame, build_ipv4_udp_frame

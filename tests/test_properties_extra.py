@@ -1,6 +1,5 @@
 """Cross-module property tests: randomised end-to-end invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

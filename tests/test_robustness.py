@@ -6,7 +6,6 @@ the stack must *drop*, never crash or emit garbage, whatever arrives
 off the wire.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

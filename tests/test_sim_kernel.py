@@ -78,6 +78,26 @@ class TestStagedFifo:
         assert fifo.drain() == [1, 2]
         assert len(fifo) == 0
 
+    def test_drain_includes_staged(self):
+        """Drain empties the staging buffer too — staged items must not
+        silently commit on the next tick after a drain."""
+        fifo = StagedFifo()
+        fifo.push(1)
+        fifo.commit()
+        fifo.push(2)  # staged, not yet committed
+        assert fifo.drain() == [1, 2]
+        assert len(fifo) == 0
+        assert fifo.occupancy == 0
+        fifo.commit()
+        assert len(fifo) == 0  # nothing reappears
+
+    def test_drain_staged_frees_capacity(self):
+        fifo = StagedFifo(capacity=1)
+        fifo.push(1)
+        assert not fifo.can_accept()
+        fifo.drain()
+        assert fifo.can_accept()
+
 
 class TestCycleSimulator:
     def test_step_then_commit_each_cycle(self):

@@ -1,7 +1,6 @@
 """Tests for the TCP engine: flow state, handshake, data transfer,
 loss recovery, flow control, and the application interface."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -6,8 +6,6 @@ start, congestion avoidance, and window collapse on loss, off by
 default so the default engine stays paper-faithful.
 """
 
-import pytest
-
 from repro.designs.tcp_stack import TcpServerDesign
 from repro.packet import IPv4Address, MacAddress
 from repro.tcp.app import TcpSourceAppTile
