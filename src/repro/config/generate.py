@@ -151,10 +151,10 @@ def register_tile_type(type_name: str, factory: Callable) -> None:
 class GeneratedDesign:
     """A design built from a :class:`DesignSpec`."""
 
-    def __init__(self, spec: DesignSpec):
+    def __init__(self, spec: DesignSpec, kernel: str = "scheduled"):
         self.spec = spec
         self.report = validate(spec)
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(spec.width, spec.height)
         context = BuildContext(self.mesh)
         self.tiles: dict[str, object] = {}

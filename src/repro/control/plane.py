@@ -26,10 +26,10 @@ from repro.control.messages import (
 )
 from repro.noc.mesh import LocalPort, Mesh
 from repro.noc.message import NocMessage
-from repro.sim.kernel import CycleSimulator
+from repro.sim.kernel import CycleSimulator, Wakeable
 
 
-class ControlEndpoint:
+class ControlEndpoint(Wakeable):
     """A tile's attachment to the control NoC (a clocked component)."""
 
     def __init__(self, plane: "ControlPlane", coord: tuple[int, int],
@@ -100,6 +100,17 @@ class ControlEndpoint:
 
     def commit(self) -> None:
         pass
+
+    # -- quiescence contract (see repro.sim.kernel) ----------------------------
+
+    def wake_sources(self):
+        return (self.port.eject_fifo,)
+
+    def is_idle(self) -> bool:
+        """Control messages are rare; the endpoint sleeps whenever its
+        ejection FIFO is empty."""
+        fifo = self.port.eject_fifo
+        return not fifo._items and not fifo._staged
 
 
 class ControlPlane:

@@ -15,9 +15,10 @@ from typing import Callable
 
 from repro import params
 from repro.packet.builder import parse_frame
+from repro.sim.kernel import Wakeable
 
 
-class FrameSource:
+class FrameSource(Wakeable):
     """Paced frame injection (a clocked component).
 
     ``frame_factory(i)`` returns the i-th frame to send.  ``rate`` is
@@ -43,6 +44,7 @@ class FrameSource:
         self.sent = 0
         self.bytes_sent = 0
         self._next_free = 0
+        self._blocked = False
 
     @property
     def done(self) -> bool:
@@ -52,7 +54,10 @@ class FrameSource:
         if self.done or cycle < self._next_free:
             return
         if self.backlog is not None and self.backlog() >= self.max_backlog:
+            # Polled until the backlog drains: nothing wakes a source.
+            self._blocked = True
             return
+        self._blocked = False
         frame = self.frame_factory(self.sent)
         wire_bytes = len(frame) + params.ETHERNET_OVERHEAD_BYTES
         if self.rate is not None:
@@ -68,8 +73,18 @@ class FrameSource:
     def commit(self) -> None:
         pass
 
+    # -- quiescence contract (see repro.sim.kernel) --------------------------
 
-class FrameSink:
+    def is_idle(self) -> bool:
+        """Pacing is timer-driven; only a backlog-blocked source needs
+        to poll (the backlog callable is opaque, so no wake exists)."""
+        return self.done or not self._blocked
+
+    def next_event_cycle(self) -> int | None:
+        return None if self.done else self._next_free
+
+
+class FrameSink(Wakeable):
     """Drains an Ethernet TX tile's MAC output (a clocked component)."""
 
     def __init__(self, eth_tx, keep_frames: bool = True):
@@ -81,6 +96,9 @@ class FrameSink:
         self.payload_bytes = 0
         self.first_cycle: int | None = None
         self.last_cycle: int | None = None
+        listeners = getattr(eth_tx, "frame_listeners", None)
+        if listeners is not None:
+            listeners.append(self._wake)
 
     def step(self, cycle: int) -> None:
         while self.eth_tx.frames_out:
@@ -103,6 +121,18 @@ class FrameSink:
 
     def commit(self) -> None:
         pass
+
+    # -- quiescence contract (see repro.sim.kernel) --------------------------
+
+    def is_idle(self) -> bool:
+        """Always idle between events: every recorded value derives
+        from a frame's emit cycle, so draining on the emit cycle (via
+        the timer) or on a wake from the TX tile loses nothing."""
+        return True
+
+    def next_event_cycle(self) -> int | None:
+        queue = self.eth_tx.frames_out
+        return queue[0][1] if queue else None
 
 
 class GoodputMeter:

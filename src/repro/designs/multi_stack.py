@@ -70,10 +70,11 @@ class MultiStackDesign:
     """N duplicated UDP stacks behind a flow-hash load balancer."""
 
     def __init__(self, stacks: int = 2, udp_port: int = 7,
-                 line_rate_bytes_per_cycle: float | None = None):
+                 line_rate_bytes_per_cycle: float | None = None,
+                 kernel: str = "scheduled"):
         if stacks < 1:
             raise ValueError("need at least one stack")
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(5, 2 * stacks)
         self.lb = FlowHashLoadBalancerTile("lb", self.mesh, (0, 0))
         self.stacks = [

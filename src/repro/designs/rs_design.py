@@ -36,12 +36,13 @@ class RsDesign:
 
     def __init__(self, instances: int = 4, udp_port: int = 7000,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 rs_gbps: float = params.RS_TILE_GBPS):
+                 rs_gbps: float = params.RS_TILE_GBPS,
+                 kernel: str = "scheduled"):
         if not 1 <= instances <= 4:
             raise ValueError("this layout hosts 1-4 RS instances")
         self.instances = instances
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(6, 2)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),

@@ -34,14 +34,15 @@ class ScaledEchoDesign:
     MAX_APPS = 22
 
     def __init__(self, n_apps: int = 22, udp_port: int = 7,
-                 line_rate_bytes_per_cycle: float | None = None):
+                 line_rate_bytes_per_cycle: float | None = None,
+                 kernel: str = "scheduled"):
         if not 1 <= n_apps <= self.MAX_APPS:
             raise ValueError(
                 f"this layout hosts 1-{self.MAX_APPS} app tiles"
             )
         self.n_apps = n_apps
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(self.WIDTH, self.HEIGHT)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),

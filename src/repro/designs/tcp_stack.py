@@ -44,9 +44,10 @@ class TcpServerDesign:
                  max_flows: int = 8,
                  mss: int = params.TCP_MSS_BYTES,
                  congestion_control: bool = False,
+                 kernel: str = "scheduled",
                  **app_kwargs):
         self.tcp_port = tcp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(6, 2)
         self.flows = FlowTable(max_flows=max_flows)
 

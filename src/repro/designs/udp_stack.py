@@ -33,9 +33,10 @@ class UdpEchoDesign:
 
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 app_tile_cls=UdpEchoAppTile):
+                 app_tile_cls=UdpEchoAppTile,
+                 kernel: str = "scheduled"):
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(4, 2)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
@@ -111,12 +112,13 @@ class LoggedUdpEchoDesign(UdpEchoDesign):
     LOG_PORT = 5100
 
     def __init__(self, udp_port: int = 7,
-                 line_rate_bytes_per_cycle: float | None = 50.0):
+                 line_rate_bytes_per_cycle: float | None = 50.0,
+                 kernel: str = "scheduled"):
         # Build from scratch (different geometry than the base class).
         from repro.tiles.logger import PacketLogTile
 
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(5, 2)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),

@@ -40,9 +40,10 @@ class NatEchoDesign:
     """UDP echo with an IP NAT translating client addresses."""
 
     def __init__(self, udp_port: int = 7,
-                 line_rate_bytes_per_cycle: float | None = 50.0):
+                 line_rate_bytes_per_cycle: float | None = 50.0,
+                 kernel: str = "scheduled"):
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(5, 2)
         self.nat_table = NatTable()
 
@@ -110,9 +111,10 @@ class IpInIpEchoDesign:
     """UDP echo behind an IP-in-IP tunnel, with duplicated IP tiles."""
 
     def __init__(self, udp_port: int = 7,
-                 line_rate_bytes_per_cycle: float | None = 50.0):
+                 line_rate_bytes_per_cycle: float | None = 50.0,
+                 kernel: str = "scheduled"):
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(6, 2)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),

@@ -43,12 +43,13 @@ class VrWitnessDesign:
 
     def __init__(self, shards: int = 4,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 duplicate_udp: bool = False):
+                 duplicate_udp: bool = False,
+                 kernel: str = "scheduled"):
         if not 1 <= shards <= 4:
             raise ValueError("this layout hosts 1-4 witness shards")
         self.shards = shards
         self.duplicate_udp = duplicate_udp
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         width = 7 if duplicate_udp else 6
         self.mesh = Mesh(width, 2)
         witness_coords = ([(4, 0), (5, 0), (6, 0), (4, 1)]

@@ -40,10 +40,11 @@ class VxlanEchoDesign:
     """A UDP echo server living inside a VXLAN overlay."""
 
     def __init__(self, vni: int = 7700, udp_port: int = 7,
-                 line_rate_bytes_per_cycle: float | None = 50.0):
+                 line_rate_bytes_per_cycle: float | None = 50.0,
+                 kernel: str = "scheduled"):
         self.vni = vni
         self.udp_port = udp_port
-        self.sim = CycleSimulator()
+        self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(8, 2)
 
         # Outer (underlay) stack.

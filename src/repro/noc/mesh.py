@@ -9,16 +9,18 @@ the router drains into, plus helpers that enforce wormhole contiguity
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.noc.flit import Flit
 from repro.noc.message import MessageAssembler, NocMessage
 from repro.noc.router import Router
 from repro.noc.routing import Port
 from repro.params import ROUTER_INPUT_FIFO_FLITS
-from repro.sim.kernel import CycleSimulator, StagedFifo
+from repro.sim.kernel import CycleSimulator, StagedFifo, Wakeable
 from repro.telemetry.trace import NULL_TRACER
 
 
-class LocalPort:
+class LocalPort(Wakeable):
     """A tile's window onto its router.
 
     Injection: ``send(message)`` queues a whole message; each cycle the
@@ -41,9 +43,10 @@ class LocalPort:
             eject_depth, name=f"{router.name}.eject"
         )
         router.connect_output(Port.LOCAL, self.eject_fifo)
+        self._local_in = router.inputs[Port.LOCAL]
         self._assembler = MessageAssembler()
-        self._pending_flits: list[Flit] = []
-        self._send_queue: list[NocMessage] = []
+        self._pending_flits: deque[Flit] = deque()
+        self._send_queue: deque[NocMessage] = deque()
         self._injecting: NocMessage | None = None
         self.messages_sent = 0
         self.messages_received = 0
@@ -56,6 +59,7 @@ class LocalPort:
         if message.src != self.coord:
             message.src = self.coord
         self._send_queue.append(message)
+        self._wake()
 
     @property
     def tx_backlog(self) -> int:
@@ -64,16 +68,16 @@ class LocalPort:
 
     def step(self, cycle: int) -> None:
         if not self._pending_flits and self._send_queue:
-            message = self._send_queue.pop(0)
-            self._pending_flits = message.to_flits()
+            message = self._send_queue.popleft()
+            self._pending_flits.extend(message.to_flits())
             self._injecting = message
             self.messages_sent += 1
             if self.tracer.enabled:
                 self.tracer.inject_start(cycle, self.coord, message)
         if self._pending_flits:
-            local_in = self.router.inputs[Port.LOCAL]
+            local_in = self._local_in
             if local_in.can_accept():
-                local_in.push(self._pending_flits.pop(0))
+                local_in.push_unchecked(self._pending_flits.popleft())
                 self.flits_injected += 1
                 if not self._pending_flits:
                     if self.tracer.enabled and self._injecting is not None:
@@ -83,6 +87,19 @@ class LocalPort:
 
     def commit(self) -> None:
         self.eject_fifo.commit()
+
+    # -- quiescence contract (see repro.sim.kernel) -------------------------
+
+    def wake_sources(self):
+        """Router ejections must re-activate the port: it owns the
+        ejection FIFO's commit, so a staged flit needs it scheduled."""
+        return (self.eject_fifo,)
+
+    def is_idle(self) -> bool:
+        """Nothing queued or mid-injection, and no staged ejections to
+        commit.  ``send`` wakes the port for new injections."""
+        return (not self._pending_flits and not self._send_queue
+                and not self.eject_fifo._staged)
 
     # -- receive side -------------------------------------------------------
 

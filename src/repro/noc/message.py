@@ -19,6 +19,20 @@ _msg_counter = itertools.count(1)
 _packet_counter = itertools.count(1)
 
 
+def reset_id_counters() -> None:
+    """Restart the global message/packet id counters from 1.
+
+    Ids are design-wide but allocated from module globals, so two runs
+    built in the same process see different ids.  Differential tests
+    (naive vs scheduled kernel) call this before each run so that id
+    streams — and everything derived from them, like trace spans —
+    compare equal.
+    """
+    global _msg_counter, _packet_counter
+    _msg_counter = itertools.count(1)
+    _packet_counter = itertools.count(1)
+
+
 def next_packet_id() -> int:
     """Allocate a design-wide monotonically increasing packet id.
 

@@ -23,6 +23,11 @@ from repro.telemetry.trace import NULL_TRACER
 
 _DIRECTIONS = [Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH]
 _ALL_PORTS = [Port.LOCAL] + _DIRECTIONS
+_N_PORTS = len(_ALL_PORTS)
+# The step loop works in integer port indices: enum dict lookups (each
+# a Python-level __hash__ call) dominated router cost in profiles.
+_PORT_INDEX = {port: index for index, port in enumerate(_ALL_PORTS)}
+_PORT_VALUES = [port.value for port in _ALL_PORTS]
 
 
 class Router:
@@ -48,22 +53,45 @@ class Router:
         self.outputs: dict[Port, StagedFifo | None] = {
             port: None for port in _ALL_PORTS
         }
-        # Wormhole state: which input currently owns each output port.
-        self._grant: dict[Port, Port | None] = {
-            port: None for port in _ALL_PORTS
-        }
-        # Round-robin arbitration pointer per output port.
-        self._rr: dict[Port, int] = {port: 0 for port in _ALL_PORTS}
+        # Hot-path mirrors of inputs/outputs, indexed by port number.
+        self._in_fifos: list[StagedFifo] = [
+            self.inputs[port] for port in _ALL_PORTS
+        ]
+        self._out_fifos: list[StagedFifo | None] = [None] * _N_PORTS
+        # Wormhole state: input index currently owning each output port
+        # (-1 = free), and the round-robin arbitration pointer.
+        self._grant: list[int] = [-1] * _N_PORTS
+        self._rr: list[int] = [0] * _N_PORTS
         # Statistics.
         self.flits_forwarded = 0
-        self.flits_per_output: dict[Port, int] = {
-            port: 0 for port in _ALL_PORTS
-        }
+        self._flits_per_output: list[int] = [0] * _N_PORTS
+
+    @property
+    def flits_per_output(self) -> dict[Port, int]:
+        """Per-output flit counts, keyed by :class:`Port`."""
+        return {port: self._flits_per_output[index]
+                for index, port in enumerate(_ALL_PORTS)}
 
     # -- wiring -----------------------------------------------------------
 
     def connect_output(self, port: Port, downstream: StagedFifo) -> None:
         self.outputs[port] = downstream
+        self._out_fifos[_PORT_INDEX[port]] = downstream
+
+    # -- quiescence contract (see repro.sim.kernel) -----------------------
+
+    def wake_sources(self):
+        """Pushes into any input FIFO re-activate the router."""
+        return self.inputs.values()
+
+    def is_idle(self) -> bool:
+        """A router with empty input FIFOs has nothing to move or
+        commit; wormhole grants and arbitration pointers are static
+        until the next flit arrives, so it can sleep until a wake."""
+        for fifo in self._in_fifos:
+            if fifo._items or fifo._staged:
+                return False
+        return True
 
     # -- per-cycle behaviour ------------------------------------------------
 
@@ -71,81 +99,92 @@ class Router:
         return self.route_fn(self.coord, flit.dst)
 
     def step(self, cycle: int) -> None:
-        moved_inputs: set[Port] = set()
-        for out_port in _ALL_PORTS:
-            downstream = self.outputs[out_port]
+        """One cycle of wormhole switching.
+
+        Per output (fixed port order): a granted output advances its
+        owner's next flit; a free output round-robin arbitrates among
+        the inputs whose head flit routes to it.  At most one flit
+        leaves each input per cycle (``moved`` bitmask), so an input's
+        head is stable for the whole step and each head's requested
+        output can be resolved once up front.
+        """
+        in_fifos = self._in_fifos
+        route_fn = self.route_fn
+        coord = self.coord
+        # wants[i]: output index input i's head flit requests, else -1.
+        wants = [-1] * _N_PORTS
+        for index in range(_N_PORTS):
+            items = in_fifos[index]._items
+            if items:
+                flit = items[0]
+                if flit.is_head:
+                    wants[index] = _PORT_INDEX[route_fn(coord, flit.dst)]
+        grant = self._grant
+        traced = self.tracer.enabled
+        moved = 0
+        for out_index in range(_N_PORTS):
+            downstream = self._out_fifos[out_index]
             if downstream is None:
                 continue
-            owner = self._grant[out_port]
-            if owner is not None:
-                self._advance_locked(cycle, out_port, owner, downstream,
-                                     moved_inputs)
-            else:
-                self._arbitrate(cycle, out_port, downstream, moved_inputs)
-
-    def _advance_locked(self, cycle: int, out_port: Port, owner: Port,
-                        downstream: StagedFifo,
-                        moved_inputs: set[Port]) -> None:
-        """Move the next body flit of the message holding ``out_port``."""
-        if owner in moved_inputs:
-            return
-        fifo = self.inputs[owner]
-        flit = fifo.peek()
-        if flit is None:
-            return
-        if not downstream.can_accept():
-            # A locked wormhole that cannot advance: the downstream FIFO
-            # is out of credits, so the whole chain behind it stalls.
-            if self.tracer.enabled:
-                self.tracer.link_stall(cycle, self.coord, out_port.value,
-                                       "wormhole_stall")
-            return
-        fifo.pop()
-        downstream.push(flit)
-        moved_inputs.add(owner)
-        self.flits_forwarded += 1
-        self.flits_per_output[out_port] += 1
-        if self.tracer.enabled:
-            self.tracer.flit_forwarded(cycle, self.coord, out_port.value,
-                                       flit)
-        if flit.is_tail:
-            self._grant[out_port] = None
-
-    def _arbitrate(self, cycle: int, out_port: Port,
-                   downstream: StagedFifo,
-                   moved_inputs: set[Port]) -> None:
-        """Round-robin among inputs whose head flit wants ``out_port``."""
-        n = len(_ALL_PORTS)
-        start = self._rr[out_port]
-        for k in range(n):
-            in_port = _ALL_PORTS[(start + k) % n]
-            if in_port in moved_inputs:
+            owner = grant[out_index]
+            if owner >= 0:
+                # Locked wormhole: move the owner's next body flit.
+                if moved & (1 << owner):
+                    continue
+                items = in_fifos[owner]._items
+                if not items:
+                    continue
+                if not downstream.can_accept():
+                    # Out of downstream credits: the whole chain of
+                    # links behind this wormhole stalls.
+                    if traced:
+                        self.tracer.link_stall(cycle, coord,
+                                               _PORT_VALUES[out_index],
+                                               "wormhole_stall")
+                    continue
+                flit = in_fifos[owner].pop()
+                downstream.push_unchecked(flit)
+                moved |= 1 << owner
+                self.flits_forwarded += 1
+                self._flits_per_output[out_index] += 1
+                if traced:
+                    self.tracer.flit_forwarded(cycle, coord,
+                                               _PORT_VALUES[out_index],
+                                               flit)
+                if flit.is_tail:
+                    grant[out_index] = -1
                 continue
-            flit = self.inputs[in_port].peek()
-            if flit is None or not flit.is_head:
-                continue
-            if self._route(flit) != out_port:
-                continue
-            if not downstream.can_accept():
-                # A head flit lost to downstream credit exhaustion.
-                if self.tracer.enabled:
-                    self.tracer.link_stall(cycle, self.coord,
-                                           out_port.value,
-                                           "credit_exhausted")
-                return  # head is blocked; output stays free this cycle
-            self.inputs[in_port].pop()
-            downstream.push(flit)
-            moved_inputs.add(in_port)
-            self.flits_forwarded += 1
-            self.flits_per_output[out_port] += 1
-            if self.tracer.enabled:
-                self.tracer.flit_forwarded(cycle, self.coord,
-                                           out_port.value, flit)
-            if not flit.is_tail:
-                self._grant[out_port] = in_port
-            self._rr[out_port] = (_ALL_PORTS.index(in_port) + 1) % n
-            return
+            # Free output: round-robin among requesting head flits.
+            start = self._rr[out_index]
+            for k in range(_N_PORTS):
+                in_index = start + k
+                if in_index >= _N_PORTS:
+                    in_index -= _N_PORTS
+                if wants[in_index] != out_index or moved & (1 << in_index):
+                    continue
+                if not downstream.can_accept():
+                    # A head flit lost to downstream credit exhaustion;
+                    # the output stays free this cycle.
+                    if traced:
+                        self.tracer.link_stall(cycle, coord,
+                                               _PORT_VALUES[out_index],
+                                               "credit_exhausted")
+                    break
+                flit = in_fifos[in_index].pop()
+                downstream.push_unchecked(flit)
+                moved |= 1 << in_index
+                self.flits_forwarded += 1
+                self._flits_per_output[out_index] += 1
+                if traced:
+                    self.tracer.flit_forwarded(cycle, coord,
+                                               _PORT_VALUES[out_index],
+                                               flit)
+                if not flit.is_tail:
+                    grant[out_index] = in_index
+                self._rr[out_index] = (in_index + 1) % _N_PORTS
+                break
 
     def commit(self) -> None:
-        for fifo in self.inputs.values():
-            fifo.commit()
+        for fifo in self._in_fifos:
+            if fifo._staged:
+                fifo.commit()

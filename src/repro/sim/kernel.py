@@ -10,10 +10,63 @@ Models synchronous digital hardware with a two-phase clock:
 Because no staged write is observable until every component has stepped,
 the result is independent of component iteration order, which keeps the
 simulator deterministic and faithful to clocked RTL.
+
+Scheduling
+----------
+
+The simulator ships two kernels, selected by ``kernel=``:
+
+``"scheduled"`` (the default)
+    Activity-scheduled execution.  Components that implement the
+    *quiescence contract* (below) are removed from the per-cycle active
+    set while idle and re-activated in O(1) by either a *wake hook* on a
+    :class:`StagedFifo` they consume from or a *timer wheel* entry for
+    their next self-generated event.  When the whole design is
+    quiescent, idle stretches are skipped wholesale instead of being
+    ticked one no-op cycle at a time.
+
+``"naive"``
+    The original exhaustive scheduler: every registered component steps
+    and commits every cycle.  Kept as an escape hatch and as the
+    reference for differential (cycle-equivalence) testing.
+
+The quiescence contract — all optional, checked with ``getattr``:
+
+``is_idle() -> bool``
+    True iff ``step(cycle)`` would make no externally visible state
+    change at the current cycle *and every future cycle* until either
+    (a) an item is pushed into one of the component's
+    :meth:`wake_sources` FIFOs, (b) the component is woken through its
+    ``_kernel_wake`` hook, or (c) the cycle returned by
+    ``next_event_cycle()`` arrives.  A component without ``is_idle``
+    is stepped every cycle, exactly as under the naive kernel.
+
+``next_event_cycle() -> int | None``
+    The absolute cycle of the component's next self-generated event
+    (a paced injector's next send, a tile engine's emit deadline), or
+    None if only external input can create work.  Consulted only when
+    ``is_idle()`` is True; waking *early* is always safe (the step is
+    a no-op and the component re-idles), waking late is a bug.
+
+``wake_sources() -> iterable[StagedFifo]``
+    The FIFOs whose ``push`` must re-activate this component — its NoC
+    input FIFOs, ejection FIFO, and so on.  Wired up by :meth:`add`.
+
+``_kernel_wake``
+    Slot filled by the kernel with a zero-argument wake callable (see
+    :class:`Wakeable`).  Components call it from externally-invoked
+    mutators (``push_frame``, ``send``) so out-of-band state changes
+    re-activate them.
+
+A wake that arrives during the step phase still gets the component a
+commit this cycle (so staged pushes into its FIFOs become visible on
+schedule) and a step from the next cycle on — which is exactly when the
+naive kernel would first let it observe the new state.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Callable, Iterable, Protocol, runtime_checkable
 
@@ -23,12 +76,32 @@ class ClockedComponent(Protocol):
     """Anything driven by the simulator clock.
 
     ``step(cycle)`` computes against last cycle's state; ``commit()``
-    publishes this cycle's writes.
+    publishes this cycle's writes.  Components may additionally
+    implement the quiescence contract (module docstring) to be
+    eligible for idle-skip under the scheduled kernel.
     """
 
     def step(self, cycle: int) -> None: ...
 
     def commit(self) -> None: ...
+
+
+class Wakeable:
+    """Mixin giving a component an externally triggerable wake hook.
+
+    The scheduled kernel fills :attr:`_kernel_wake` when the component
+    is added; methods that mutate component state from outside the
+    component's own ``step`` (frame injection, message send) call
+    :meth:`_wake` so the scheduler re-activates the sleeper.  Under the
+    naive kernel the slot stays None and ``_wake`` is a no-op.
+    """
+
+    _kernel_wake: Callable[[], None] | None = None
+
+    def _wake(self) -> None:
+        wake = self._kernel_wake
+        if wake is not None:
+            wake()
 
 
 class StagedFifo:
@@ -38,7 +111,13 @@ class StagedFifo:
     Capacity accounting is conservative: staged items count against
     capacity immediately, so a producer that checks :meth:`can_accept`
     during *step* can never overflow the queue.
+
+    Wake hooks: consumers registered through :meth:`add_waker` are
+    re-activated on every ``push`` — the mechanism the scheduled kernel
+    uses to let downstream components sleep while the queue is empty.
     """
+
+    __slots__ = ("capacity", "name", "_items", "_staged", "_wakers")
 
     def __init__(self, capacity: int | None = None, name: str = "fifo"):
         if capacity is not None and capacity < 1:
@@ -47,6 +126,7 @@ class StagedFifo:
         self.name = name
         self._items: deque = deque()
         self._staged: list = []
+        self._wakers: list[Callable[[], None]] = []
 
     def __len__(self) -> int:
         """Number of committed (visible) items."""
@@ -58,14 +138,28 @@ class StagedFifo:
         return len(self._items) + len(self._staged)
 
     def can_accept(self, n: int = 1) -> bool:
-        if self.capacity is None:
+        capacity = self.capacity
+        if capacity is None:
             return True
-        return self.occupancy + n <= self.capacity
+        return len(self._items) + len(self._staged) + n <= capacity
+
+    def add_waker(self, waker: Callable[[], None]) -> None:
+        """Re-activate a consumer (and its committer) on every push."""
+        self._wakers.append(waker)
 
     def push(self, item) -> None:
         if not self.can_accept():
             raise OverflowError(f"push to full StagedFifo {self.name!r}")
         self._staged.append(item)
+        for waker in self._wakers:
+            waker()
+
+    def push_unchecked(self, item) -> None:
+        """``push`` minus the capacity re-check, for hot paths that
+        have just tested :meth:`can_accept` themselves."""
+        self._staged.append(item)
+        for waker in self._wakers:
+            waker()
 
     def peek(self):
         """The oldest committed item, or None if empty."""
@@ -103,6 +197,10 @@ class StagedFifo:
 class CycleSimulator:
     """Drives a set of :class:`ClockedComponent` objects cycle by cycle.
 
+    ``kernel`` selects the scheduler: ``"scheduled"`` (activity-based,
+    the default) or ``"naive"`` (step everything every cycle — the
+    reference for differential testing; see the module docstring).
+
     ``tracer`` is the observability event bus
     (:mod:`repro.telemetry.trace`); it defaults to the shared no-op
     tracer, so an untraced simulation pays a single attribute test per
@@ -110,15 +208,58 @@ class CycleSimulator:
     recording tracer into a whole design.
     """
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, kernel: str = "scheduled"):
         from repro.telemetry.trace import NULL_TRACER
+        if kernel not in ("scheduled", "naive"):
+            raise ValueError(f"unknown kernel {kernel!r} "
+                             "(choose 'scheduled' or 'naive')")
         self.cycle = 0
+        self.kernel = kernel
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._components: list[ClockedComponent] = []
         self._fifos: list[StagedFifo] = []
+        self._scheduled = kernel == "scheduled"
+        # Scheduled-kernel state.
+        self._order: dict = {}          # component -> registration index
+        self._active: set = set()       # components stepped next cycle
+        self._timers: list = []         # heap of (cycle, seq, component)
+        self._timer_seq = 0
+        self._armed: dict = {}          # component -> earliest armed cycle
+        self._in_step = False
+        self._late_wakes: list = []
+        # component -> (is_idle, next_event_cycle) resolved once at add
+        # time; (None, None) for components without the contract.
+        self._contracts: dict = {}
+        # Sorted view of the active set, rebuilt only when it changes
+        # (under saturation the set is stable for long stretches).
+        self._stepping_cache: list = []
+        self._active_dirty = True
+        # Stats (scheduled kernel only; stay 0 under naive).
+        self.idle_cycles_skipped = 0
+        self.component_steps = 0
+
+    # -- registration -------------------------------------------------------
 
     def add(self, component: ClockedComponent) -> None:
         self._components.append(component)
+        if not self._scheduled:
+            return
+        self._order[component] = len(self._components) - 1
+        self._active.add(component)
+        self._contracts[component] = (
+            getattr(component, "is_idle", None),
+            getattr(component, "next_event_cycle", None),
+        )
+        waker = None
+        if getattr(component, "_kernel_wake", False) is None:
+            waker = self._waker_for(component)
+            component._kernel_wake = waker
+        sources = getattr(component, "wake_sources", None)
+        if sources is not None:
+            if waker is None:
+                waker = self._waker_for(component)
+            for fifo in sources():
+                fifo.add_waker(waker)
 
     def add_all(self, components: Iterable[ClockedComponent]) -> None:
         for component in components:
@@ -133,8 +274,102 @@ class CycleSimulator:
         self._fifos.append(fifo)
         return fifo
 
+    # -- scheduled-kernel machinery ----------------------------------------
+
+    def _waker_for(self, component) -> Callable[[], None]:
+        active = self._active
+
+        def wake() -> None:
+            if component in active:
+                return
+            active.add(component)
+            self._active_dirty = True
+            if self._in_step:
+                # Woken mid-step: too late to step this cycle (the
+                # naive kernel's step would see nothing new anyway)
+                # but it must commit this cycle so staged pushes into
+                # its FIFOs land on schedule.  Everything stepped this
+                # cycle was already in the active set, so reaching
+                # here means this component is not being stepped.
+                self._late_wakes.append(component)
+
+        return wake
+
+    def wake(self, component) -> None:
+        """Re-activate ``component`` (no-op under the naive kernel)."""
+        if self._scheduled and component in self._order:
+            self._waker_for(component)()
+
+    def _arm_timer(self, component, deadline: int) -> None:
+        armed = self._armed.get(component)
+        if armed is not None and armed <= deadline:
+            return  # an equal-or-earlier (safe) wake is already queued
+        self._armed[component] = deadline
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (deadline, self._timer_seq, component))
+
+    def _service_timers(self, cycle: int) -> None:
+        timers = self._timers
+        while timers and timers[0][0] <= cycle:
+            deadline, _, component = heapq.heappop(timers)
+            if self._armed.get(component) == deadline:
+                del self._armed[component]
+            if component not in self._active:
+                self._active.add(component)
+                self._active_dirty = True
+
+    def _reschedule(self, component, cycle: int) -> None:
+        """Deactivate ``component`` if it reports quiescence.
+
+        (The tick loop inlines this per stepped component; this method
+        is the readable reference and the hook for external callers.)
+        """
+        is_idle, next_event = self._contracts[component]
+        if is_idle is None or not is_idle():
+            return
+        self._active.discard(component)
+        self._active_dirty = True
+        if next_event is None:
+            return
+        deadline = next_event()
+        if deadline is not None:
+            self._arm_timer(component, max(deadline, cycle + 1))
+
+    def _next_wake_cycle(self) -> int | None:
+        """Earliest cycle with scheduled work, or None if fully quiescent.
+
+        Only meaningful under the scheduled kernel; callers use it to
+        skip idle stretches in O(1).
+        """
+        if self._active:
+            return self.cycle
+        if self._timers:
+            return max(self._timers[0][0], self.cycle)
+        return None
+
+    def _skip_to(self, target: int) -> None:
+        """Advance the clock over a stretch of provably idle cycles."""
+        skipped = target - self.cycle
+        if skipped <= 0:
+            return
+        self.idle_cycles_skipped += skipped
+        if self.tracer.enabled:
+            # The naive kernel announces every cycle; announcing the
+            # last skipped one keeps Tracer.last_cycle (and horizon)
+            # identical without per-cycle cost.
+            self.tracer.cycle_start(target - 1)
+        self.cycle = target
+
+    # -- the clock ----------------------------------------------------------
+
     def tick(self) -> None:
         """Advance the simulation by one clock cycle."""
+        if self._scheduled:
+            self._tick_scheduled()
+        else:
+            self._tick_naive()
+
+    def _tick_naive(self) -> None:
         if self.tracer.enabled:
             self.tracer.cycle_start(self.cycle)
         for component in self._components:
@@ -145,8 +380,85 @@ class CycleSimulator:
             fifo.commit()
         self.cycle += 1
 
+    def _tick_scheduled(self) -> None:
+        cycle = self.cycle
+        timers = self._timers
+        if timers and timers[0][0] <= cycle:
+            self._service_timers(cycle)
+        # Saturation bypass: when a sizeable fraction of components is
+        # active, pruning bookkeeping (idle checks, timer arms, set
+        # churn) costs more than the no-op steps it saves.  Stepping a
+        # sleeping component is always safe — its step is a no-op by
+        # contract — so step the full registration list naive-style,
+        # keeping a periodic pruning tick (every 32 cycles) so the
+        # active set drains when load drops.
+        n_components = len(self._components)
+        if (n_components >= 16
+                and len(self._active) * 4 > n_components
+                and cycle & 31):
+            if self.tracer.enabled:
+                self.tracer.cycle_start(cycle)
+            components = self._components
+            for component in components:
+                component.step(cycle)
+            for component in components:
+                component.commit()
+            for fifo in self._fifos:
+                fifo.commit()
+            self.component_steps += len(components)
+            self.cycle = cycle + 1
+            return
+        if self.tracer.enabled:
+            self.tracer.cycle_start(cycle)
+        if self._active_dirty:
+            stepping = sorted(self._active, key=self._order.__getitem__)
+            self._stepping_cache = stepping
+            self._active_dirty = False
+        else:
+            stepping = self._stepping_cache
+        self._late_wakes = late = []
+        self._in_step = True
+        try:
+            for component in stepping:
+                component.step(cycle)
+        finally:
+            self._in_step = False
+        if late:
+            # A late wake already marked the active set dirty, so the
+            # cache is rebuilt next tick; extending in place is safe.
+            stepping.extend(sorted(late, key=self._order.__getitem__))
+        self.component_steps += len(stepping)
+        for component in stepping:
+            component.commit()
+        for fifo in self._fifos:
+            fifo.commit()
+        contracts = self._contracts
+        active = self._active
+        for component in stepping:
+            is_idle, next_event = contracts[component]
+            if is_idle is None or not is_idle():
+                continue
+            active.discard(component)
+            self._active_dirty = True
+            if next_event is None:
+                continue
+            deadline = next_event()
+            if deadline is not None:
+                self._arm_timer(component, max(deadline, cycle + 1))
+        self.cycle = cycle + 1
+
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
+        if not self._scheduled:
+            for _ in range(cycles):
+                self.tick()
+            return
+        end = self.cycle + cycles
+        while self.cycle < end:
+            wake = self._next_wake_cycle()
+            target = end if wake is None else min(wake, end)
+            if target > self.cycle:
+                self._skip_to(target)
+                continue
             self.tick()
 
     def run_until(
@@ -159,12 +471,25 @@ class CycleSimulator:
         Raises TimeoutError if the condition does not hold within
         ``max_cycles`` — the standard way tests detect a hung (e.g.
         deadlocked) design.
+
+        Under the scheduled kernel, fully idle stretches are skipped and
+        the condition re-checked after each jump.  Conditions should be
+        state-based (frames received, counters advanced); a condition
+        that depends on ``sim.cycle`` alone may be observed a few cycles
+        after it first became true if that happened mid-skip.
         """
         start = self.cycle
+        limit = start + max_cycles
         while not condition():
             if self.cycle - start >= max_cycles:
                 raise TimeoutError(
                     f"condition not met within {max_cycles} cycles"
                 )
+            if self._scheduled:
+                wake = self._next_wake_cycle()
+                target = limit if wake is None else min(wake, limit)
+                if target > self.cycle:
+                    self._skip_to(target)
+                    continue
             self.tick()
         return self.cycle - start

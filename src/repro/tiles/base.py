@@ -30,13 +30,14 @@ is what makes the Fig. 5(a) deadlock reproducible in this simulator.
 from __future__ import annotations
 
 import zlib
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro import params
 from repro.noc.mesh import LocalPort, Mesh
 from repro.noc.message import NocMessage, next_packet_id
+from repro.sim.kernel import Wakeable
 from repro.telemetry.trace import NULL_TRACER
 from repro.packet.ethernet import EthernetHeader
 from repro.packet.ipv4 import IPv4Header
@@ -129,17 +130,27 @@ class NextHopTable:
             return dests[0]
         if self.policy == "flow_hash" and flow_key is not None:
             return dests[flow_hash(flow_key) % len(dests)]
-        index = self._rr[key]
+        # set_entry may have shrunk the list since the pointer last
+        # advanced, so reduce it modulo the current length first.
+        index = self._rr[key] % len(dests)
         self._rr[key] = (index + 1) % len(dests)
         return dests[index]
 
 
-class Tile:
+class Tile(Wakeable):
     """Base class for every Beehive tile.
 
     Subclasses implement :meth:`handle_message` (transform one input
     message into zero or more outputs) and may override :meth:`on_cycle`
     (source/application behaviour independent of message arrival).
+
+    Scheduling: the base class implements the kernel's quiescence
+    contract, so a purely message-driven tile sleeps while it has no
+    flits to pump and no engine work, and its timers (``parse_latency``
+    emit deadline, engine recovery, future-stamped arrivals) are served
+    by the kernel's timer wheel.  A subclass that overrides
+    :meth:`on_cycle` is conservatively treated as always active unless
+    it also overrides :meth:`is_idle` with its own contract.
     """
 
     KIND = "generic"  # key into the resource model's cost tables
@@ -167,7 +178,8 @@ class Tile:
         self.max_tx_backlog = max_tx_backlog
 
         self._buffered_flits = 0
-        self._rx_ready: list[tuple[int, NocMessage]] = []  # (tail_cycle, msg)
+        # (tail_cycle, msg) pairs; deque because pickup pops the head.
+        self._rx_ready: deque[tuple[int, NocMessage]] = deque()
         self._engine_free = 0
         self._emit_at = 0
         self._in_service: NocMessage | None = None
@@ -226,6 +238,45 @@ class Tile:
     def commit(self) -> None:
         pass  # the LocalPort (registered separately) commits the FIFOs
 
+    # -- quiescence contract (see repro.sim.kernel) ---------------------------
+
+    def wake_sources(self):
+        """Flits ejected by the router re-activate the tile."""
+        return (self.port.eject_fifo,)
+
+    def is_idle(self) -> bool:
+        """True when ``step`` is provably a no-op until a wake or timer.
+
+        A subclass that overrides :meth:`on_cycle` has per-cycle
+        behaviour the base class cannot reason about, so it is reported
+        never-idle (always stepped — naive-kernel behaviour) unless it
+        supplies its own contract.
+        """
+        if type(self).on_cycle is not Tile.on_cycle:
+            return False
+        eject = self.port.eject_fifo
+        if eject._items or eject._staged:
+            return False  # flits to pump (or a full buffer to poll)
+        if self._in_service is not None:
+            return True   # sleeps until the _emit_at timer
+        if self._rx_ready:
+            # Pickup waits on arrival/engine timers — but a blocked
+            # injection queue must be polled, since only the port's
+            # progress (not a wake) unblocks it.
+            return self.port.tx_backlog < self.max_tx_backlog
+        return True
+
+    def next_event_cycle(self) -> int | None:
+        """The engine's next self-scheduled deadline, if any."""
+        if self._in_service is not None:
+            return self._emit_at
+        if self._rx_ready:
+            tail_cycle = self._rx_ready[0][0]
+            if tail_cycle > self._engine_free:
+                return tail_cycle
+            return self._engine_free
+        return None
+
     def _pump_eject(self, cycle: int) -> None:
         """Consume at most one flit from the router, space permitting.
 
@@ -265,7 +316,7 @@ class Tile:
                 and self._rx_ready[0][0] <= cycle
                 and cycle >= self._engine_free
                 and self.port.tx_backlog < self.max_tx_backlog):
-            _tail_cycle, message = self._rx_ready.pop(0)
+            _tail_cycle, message = self._rx_ready.popleft()
             self._begin_service(message, cycle,
                                 self.service_cycles(message))
 

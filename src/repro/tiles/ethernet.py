@@ -43,6 +43,7 @@ class EthernetRxTile(Tile):
                             data=frame, n_meta_flits=0,
                             packet_id=next_packet_id())
         self._rx_ready.append((cycle, pseudo))
+        self._wake()
 
     def handle_message(self, message: NocMessage, cycle: int):
         frame = message.data
@@ -87,6 +88,9 @@ class EthernetTxTile(Tile):
         self.emit_to_noc = emit_to_noc
         self.neighbor_macs: dict[IPv4Address, MacAddress] = {}
         self.frames_out: deque[tuple[bytes, int]] = deque()
+        # MAC-side consumers (FrameSink and friends) register a wake
+        # callback here so a newly queued frame re-activates them.
+        self.frame_listeners: list = []
         self.frame_bytes_out = 0
         self._line_free = 0
 
@@ -117,6 +121,8 @@ class EthernetTxTile(Tile):
             self._line_free = emit_cycle + serialize
         self.frames_out.append((frame, emit_cycle))
         self.frame_bytes_out += len(frame)
+        for listener in self.frame_listeners:
+            listener()
         if meta.ingress_cycle is not None:
             self.last_transit_cycles = emit_cycle - meta.ingress_cycle
         return []

@@ -45,6 +45,7 @@ class FlowHashLoadBalancerTile(Tile):
                             data=frame, n_meta_flits=0,
                             packet_id=next_packet_id())
         self._rx_ready.append((cycle, pseudo))
+        self._wake()
 
     def _pump_process(self, cycle: int) -> None:
         # Same engine as Tile, but the per-packet service time is the
@@ -57,7 +58,7 @@ class FlowHashLoadBalancerTile(Tile):
                 and self._rx_ready[0][0] <= cycle
                 and cycle >= self._engine_free
                 and self.port.tx_backlog < self.max_tx_backlog):
-            _tail, message = self._rx_ready.pop(0)
+            _tail, message = self._rx_ready.popleft()
             self._begin_service(
                 message, cycle,
                 message.n_flits + params.LOAD_BALANCER_RECOVERY_CYCLES,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import CycleSimulator, StagedFifo
+from repro.sim.kernel import CycleSimulator, StagedFifo, Wakeable
 
 
 class Counter:
@@ -162,3 +162,184 @@ class TestCycleSimulator:
         sim.add(Observer())
         sim.run(4)
         assert seen == [(1, 0), (2, 1), (3, 2)]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            CycleSimulator(kernel="turbo")
+
+
+class SleepyConsumer(Wakeable):
+    """Test component honouring the quiescence contract: drains a FIFO,
+    sleeps while it is empty."""
+
+    def __init__(self, fifo):
+        self.fifo = fifo
+        self.steps = 0
+        self.drained = []
+
+    def step(self, cycle):
+        self.steps += 1
+        while self.fifo.peek() is not None:
+            self.drained.append((cycle, self.fifo.pop()))
+
+    def commit(self):
+        self.fifo.commit()
+
+    def wake_sources(self):
+        return (self.fifo,)
+
+    def is_idle(self):
+        return not self.fifo._items and not self.fifo._staged
+
+
+class Alarm(Wakeable):
+    """Test component that self-schedules: fires every ``period``."""
+
+    def __init__(self, period):
+        self.period = period
+        self.fired = []
+        self._next = period
+
+    def step(self, cycle):
+        if cycle >= self._next:
+            self.fired.append(cycle)
+            self._next = cycle + self.period
+
+    def commit(self):
+        pass
+
+    def is_idle(self):
+        return True
+
+    def next_event_cycle(self):
+        return self._next
+
+
+class TestScheduledKernel:
+    def test_idle_component_is_not_stepped(self):
+        sim = CycleSimulator(kernel="scheduled")
+        fifo = StagedFifo()
+        consumer = SleepyConsumer(fifo)
+        sim.add(consumer)
+        sim.run(100)
+        # Stepped once (cycle 0), found nothing, slept for the rest.
+        assert consumer.steps == 1
+        assert sim.idle_cycles_skipped == 99
+
+    def test_fifo_push_wakes_consumer(self):
+        sim = CycleSimulator(kernel="scheduled")
+        fifo = StagedFifo()
+        consumer = SleepyConsumer(fifo)
+        sim.add(consumer)
+        sim.run(10)
+        assert consumer.steps == 1
+        fifo.push("ping")  # external injection mid-quiescence
+        sim.run(10)
+        # Woken: the push commits, the consumer drains it next step.
+        assert consumer.drained == [(11, "ping")]
+        # ...then goes back to sleep instead of being stepped 10 times.
+        assert consumer.steps <= 3
+
+    def test_same_cycle_push_commits_on_schedule(self):
+        """A producer stepping before a sleeping consumer wakes it in
+        time for the consumer's FIFO to commit that same cycle — so the
+        item is visible exactly one cycle after the push, as under the
+        naive kernel."""
+        results = {}
+        for kernel in ("naive", "scheduled"):
+            sim = CycleSimulator(kernel=kernel)
+            fifo = StagedFifo()
+            consumer = SleepyConsumer(fifo)
+
+            class Producer:
+                def step(self, cycle):
+                    if cycle == 5:
+                        fifo.push("x")
+
+                def commit(self):
+                    pass
+
+            sim.add(Producer())
+            sim.add(consumer)
+            sim.run(20)
+            results[kernel] = consumer.drained
+        assert results["naive"] == results["scheduled"] == [(6, "x")]
+
+    def test_timer_wheel_wakes_self_scheduling_component(self):
+        sim = CycleSimulator(kernel="scheduled")
+        alarm = Alarm(period=25)
+        sim.add(alarm)
+        sim.run(100)
+        assert alarm.fired == [25, 50, 75]
+        assert sim.idle_cycles_skipped > 0
+
+    def test_timer_matches_naive_schedule(self):
+        naive = CycleSimulator(kernel="naive")
+        a1 = Alarm(period=7)
+        naive.add(a1)
+        naive.run(60)
+        sched = CycleSimulator(kernel="scheduled")
+        a2 = Alarm(period=7)
+        sched.add(a2)
+        sched.run(60)
+        assert a1.fired == a2.fired
+
+    def test_idle_skip_advances_clock_exactly(self):
+        sim = CycleSimulator(kernel="scheduled")
+        sim.add(SleepyConsumer(StagedFifo()))
+        sim.run(1000)
+        assert sim.cycle == 1000
+
+    def test_naive_kernel_steps_everything(self):
+        sim = CycleSimulator(kernel="naive")
+        fifo = StagedFifo()
+        consumer = SleepyConsumer(fifo)
+        sim.add(consumer)
+        sim.run(50)
+        assert consumer.steps == 50
+        assert sim.idle_cycles_skipped == 0
+
+    def test_component_without_contract_always_stepped(self):
+        sim = CycleSimulator(kernel="scheduled")
+        comp = Counter()
+        sim.add(comp)
+        sim.run(50)
+        assert comp.steps == 50
+        assert sim.idle_cycles_skipped == 0
+
+    def test_run_until_skips_and_still_times_out(self):
+        sim = CycleSimulator(kernel="scheduled")
+        sim.add(SleepyConsumer(StagedFifo()))
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False, max_cycles=500)
+        assert sim.cycle == 500
+
+    def test_run_until_condition_met_via_timer(self):
+        sim = CycleSimulator(kernel="scheduled")
+        alarm = Alarm(period=40)
+        sim.add(alarm)
+        consumed = sim.run_until(lambda: alarm.fired, max_cycles=1000)
+        assert alarm.fired == [40]
+        assert consumed <= 41
+
+    def test_explicit_wake_api(self):
+        sim = CycleSimulator(kernel="scheduled")
+        fifo = StagedFifo()
+        consumer = SleepyConsumer(fifo)
+        sim.add(consumer)
+        sim.run(10)
+        before = consumer.steps
+        sim.wake(consumer)
+        sim.run(1)
+        assert consumer.steps == before + 1
+
+    def test_wake_early_is_harmless(self):
+        """Waking an idle component early must not change behaviour —
+        its step is a no-op and it re-idles."""
+        sim = CycleSimulator(kernel="scheduled")
+        alarm = Alarm(period=30)
+        sim.add(alarm)
+        sim.run(10)
+        sim.wake(alarm)
+        sim.run(90)
+        assert alarm.fired == [30, 60, 90]

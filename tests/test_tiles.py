@@ -56,6 +56,28 @@ class TestNextHopTable:
         table.set_entry(7, (2, 0))
         assert table.lookup(7) == (2, 0)
 
+    def test_shrinking_entry_does_not_break_round_robin(self):
+        """Regression: rewriting an entry with fewer destinations used
+        to leave the round-robin pointer past the end of the new list,
+        so the next lookup raised IndexError.  The pointer must be
+        reduced modulo the current length instead."""
+        table = NextHopTable(policy="round_robin")
+        table.set_entry("app", [(0, 0), (1, 0), (2, 0)])
+        table.lookup("app")
+        table.lookup("app")  # pointer now at index 2
+        table.set_entry("app", [(5, 0), (6, 0)])  # control-plane shrink
+        picks = [table.lookup("app") for _ in range(4)]
+        assert picks == [(5, 0), (6, 0), (5, 0), (6, 0)]
+
+    def test_shrink_to_single_destination(self):
+        table = NextHopTable(policy="round_robin")
+        table.set_entry("app", [(0, 0), (1, 0), (2, 0)])
+        for _ in range(2):
+            table.lookup("app")
+        table.set_entry("app", [(9, 0)])
+        assert table.lookup("app") == (9, 0)
+        assert table.lookup("app") == (9, 0)
+
     def test_remove_entry(self):
         table = NextHopTable()
         table.set_entry(7, (1, 0))
