@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compile-time deadlock analysis + runtime confirmation (Fig 5).
 
-Runs the static resource-dependency analyzer over the paper's Fig 5
+Runs the design linter (``repro.analysis``) over the paper's Fig 5
 tile placements, then *actually deadlocks* the cycle simulator on the
 bad one (and streams a packet cleanly through the good one).  Finally
 builds a design from XML and shows the generator rejecting a deadlocky
@@ -10,40 +10,41 @@ layout at compile time.
 Run:  python examples/deadlock_analysis.py
 """
 
+from repro.analysis import analyze
+from repro.analysis.deadlock import DeadlockError
 from repro.config import build_design, design_from_xml
 from repro.config.examples import UDP_ECHO_XML
-from repro.deadlock import (
-    DeadlockError,
-    analyze_chains,
-    build_fig5_layout,
-)
+from repro.deadlock.demo import Fig5Design
 from repro.noc import NocMessage
 
 
 def static_analysis():
     for variant in ("a", "b"):
-        _, _, _, chain, coords = build_fig5_layout(variant)
-        cycle = analyze_chains([chain], coords)
+        design = Fig5Design(variant)
+        report = analyze(design, name=f"fig5{variant}")
         layout = ", ".join(f"{name}@{coord}"
-                           for name, coord in coords.items())
-        if cycle is None:
+                           for name, coord in design.tile_coords.items())
+        cycles = report.by_code("BHV201")
+        if not cycles:
             print(f"Fig 5{variant} [{layout}]: deadlock-free")
-        else:
-            witness = " -> ".join(f"{coord}:{port.value}"
-                                  for coord, port in cycle)
-            print(f"Fig 5{variant} [{layout}]: CYCLE {witness}")
+        for finding in cycles:
+            print(f"Fig 5{variant} [{layout}]: {finding.render()}")
 
 
 def runtime_confirmation():
     print("\nruntime (8 KB packet through streaming relay tiles):")
     for variant in ("a", "b"):
-        sim, ingress, tiles, chain, coords = build_fig5_layout(variant)
-        ingress.send(NocMessage(dst=coords["ip"], src=coords["eth"],
-                                data=bytes(8192)))
+        design = Fig5Design(variant)
+        tiles, coords = design.tiles, design.tile_coords
+        design.ingress.send(NocMessage(dst=coords["ip"],
+                                       src=coords["eth"],
+                                       data=bytes(8192)))
         try:
-            sim.run_until(lambda: tiles["app"].messages_through >= 1,
-                          max_cycles=5000)
-            print(f"  Fig 5{variant}: delivered in {sim.cycle} cycles")
+            design.sim.run_until(
+                lambda: tiles["app"].messages_through >= 1,
+                max_cycles=5000)
+            print(f"  Fig 5{variant}: delivered in "
+                  f"{design.sim.cycle} cycles")
         except TimeoutError:
             print(f"  Fig 5{variant}: WEDGED — app received "
                   f"{tiles['app'].flits_through} flits, NoC deadlocked")

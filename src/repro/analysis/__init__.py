@@ -1,0 +1,94 @@
+"""Pass-based static analysis of instantiated Beehive designs.
+
+The paper's design-time tooling (section V-G) rejects broken
+topologies before anything runs; the activity-scheduled kernel (PR 2)
+added a second class of statically-checkable failure — lost-wakeup
+stalls.  This package is one finding pipeline for both:
+
+- :mod:`repro.analysis.structural` — topology soundness (BHV1xx);
+- :mod:`repro.analysis.deadlock` — channel-dependency deadlock over
+  the *real* routing state: declared chains plus chains derived from
+  the next-hop tables (BHV2xx);
+- :mod:`repro.analysis.wake` — quiescence/wake contract verification
+  against the scheduled kernel (BHV3xx).
+
+Entry points::
+
+    from repro.analysis import analyze
+    report = analyze(UdpEchoDesign())
+    assert report.ok, report.render()
+
+or, from a shell::
+
+    python -m repro.tools.lint udp_echo --json
+"""
+
+from __future__ import annotations
+
+from repro.analysis import deadlock as _deadlock_pass
+from repro.analysis import structural as _structural_pass
+from repro.analysis import wake as _wake_pass
+from repro.analysis.deadlock import (
+    DeadlockError,
+    analyze_chains,
+    assert_deadlock_free,
+    build_dependency_graph,
+    chain_link_sequence,
+    derive_streaming_chains,
+    witness_cycles,
+)
+from repro.analysis.findings import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Finding,
+)
+from repro.analysis.model import DesignModel, extract
+from repro.analysis.structural import lint_spec
+
+#: name -> pass callable (design-like -> list[Finding]), in run order.
+PASSES = {
+    "structural": _structural_pass.run,
+    "deadlock": _deadlock_pass.run,
+    "wake-contract": _wake_pass.run,
+}
+
+
+def analyze(design, *, name: str | None = None,
+            passes=None) -> AnalysisReport:
+    """Run the requested passes (default: all) over ``design``."""
+    model = extract(design, name=name)
+    selected = list(PASSES) if passes is None else list(passes)
+    unknown = [p for p in selected if p not in PASSES]
+    if unknown:
+        raise KeyError(f"unknown pass(es) {unknown}; "
+                       f"available: {sorted(PASSES)}")
+    report = AnalysisReport(target=model.name)
+    for pass_name in selected:
+        report.extend(PASSES[pass_name](model))
+        report.passes_run.append(pass_name)
+    return report
+
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "INFO",
+    "PASSES",
+    "WARNING",
+    "AnalysisReport",
+    "DeadlockError",
+    "DesignModel",
+    "Finding",
+    "analyze",
+    "analyze_chains",
+    "assert_deadlock_free",
+    "build_dependency_graph",
+    "chain_link_sequence",
+    "derive_streaming_chains",
+    "extract",
+    "lint_spec",
+    "witness_cycles",
+]

@@ -1,0 +1,57 @@
+"""Seeded-bug designs for demonstrating (and testing) the linter.
+
+:func:`build_broken_wake_design` is the canonical lost-wakeup example:
+an echo tile whose ``wake_sources()`` deliberately returns nothing.
+Under the naive kernel the design works — every component is stepped
+every cycle, so the missing hook is invisible.  Under the scheduled
+kernel the tile idles out before traffic arrives and nothing ever
+wakes it, so the same design stalls forever.  The wake-contract pass
+flags exactly this divergence as BHV301 *before* anything runs.
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import NocMessage
+from repro.sim.kernel import CycleSimulator
+from repro.tiles.base import Tile
+
+
+class BrokenWakeEchoTile(Tile):
+    """Counts messages; its FIFO wake hook is deliberately missing."""
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs):
+        super().__init__(name, mesh, coord, **kwargs)
+        self.echoed = 0
+
+    def wake_sources(self):
+        return ()  # BUG: the ejection FIFO never wakes the tile
+
+    def handle_message(self, message: NocMessage, cycle: int):
+        self.echoed += 1
+        return []
+
+
+class BrokenWakeDesign:
+    """A 2x1 mesh: an ingress port feeding one broken echo tile."""
+
+    def __init__(self, kernel: str = "scheduled"):
+        self.sim = CycleSimulator(kernel=kernel)
+        self.mesh = Mesh(2, 1)
+        self.echo = BrokenWakeEchoTile("echo", self.mesh, (1, 0))
+        self.ingress = self.mesh.attach((0, 0))
+        self.tiles = [self.echo]
+        self.mesh.register(self.sim)
+        self.sim.add(self.echo)
+        self.chains = [["ingress", "echo"]]
+        self.tile_coords = {"ingress": (0, 0), "echo": (1, 0)}
+
+    def send(self, data: bytes = b"ping") -> None:
+        self.ingress.send(NocMessage(dst=self.echo.coord,
+                                     src=self.ingress.coord,
+                                     data=data))
+
+
+def build_broken_wake_design(kernel: str = "scheduled") -> BrokenWakeDesign:
+    return BrokenWakeDesign(kernel=kernel)

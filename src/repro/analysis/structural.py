@@ -1,0 +1,224 @@
+"""Structural soundness checks (BHV1xx).
+
+Two front ends share the finding vocabulary:
+
+- :func:`lint_spec` checks a declarative :class:`DesignSpec` (the XML
+  world) — it is the finding-pipeline form of the paper's section V-G
+  checks, and :func:`repro.config.validate.validate` is now a thin
+  wrapper over it;
+- :func:`run` checks an *instantiated* design: coordinate collisions
+  on the real mesh, dangling next-hop destinations, tiles nobody can
+  reach, double- or never-registered components, and buffer/credit
+  sizing sanity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import DesignModel, extract
+from repro.tiles.base import Tile
+
+
+def lint_spec(spec) -> list[Finding]:
+    """BHV1xx findings for a :class:`repro.config.schema.DesignSpec`."""
+    findings: list[Finding] = []
+    if spec.width < 1 or spec.height < 1:
+        findings.append(Finding(
+            "BHV120", f"bad dimensions {spec.width}x{spec.height}",
+            location=spec.name))
+    seen_names: set[str] = set()
+    seen_coords: dict = {}
+    all_names = {tile.name for tile in spec.tiles}
+    for tile in spec.tiles:
+        if tile.name in seen_names:
+            findings.append(Finding(
+                "BHV105", f"duplicate tile name {tile.name!r}",
+                location=tile.name))
+        seen_names.add(tile.name)
+        if not (0 <= tile.x < spec.width and 0 <= tile.y < spec.height):
+            findings.append(Finding(
+                "BHV102",
+                f"tile {tile.name!r} at {tile.coord} is outside the "
+                f"{spec.width}x{spec.height} mesh",
+                location=tile.name))
+        elif tile.coord in seen_coords:
+            findings.append(Finding(
+                "BHV101",
+                f"tiles {seen_coords[tile.coord]!r} and {tile.name!r} "
+                f"share coordinates {tile.coord}",
+                location=tile.name))
+        else:
+            seen_coords[tile.coord] = tile.name
+        for dest in tile.dests:
+            for target in dest.targets:
+                if target not in all_names:
+                    findings.append(Finding(
+                        "BHV124",
+                        f"tile {tile.name!r} routes to unknown tile "
+                        f"{target!r}",
+                        location=tile.name))
+            if not dest.targets:
+                findings.append(Finding(
+                    "BHV123",
+                    f"tile {tile.name!r} has a destination with no "
+                    "targets",
+                    location=tile.name))
+    for chain in spec.chains:
+        for name in chain.tiles:
+            if name not in seen_names:
+                findings.append(Finding(
+                    "BHV121",
+                    f"chain references unknown tile {name!r}",
+                    location=" -> ".join(chain.tiles)))
+    if not findings and not spec.chains:
+        findings.append(Finding(
+            "BHV122",
+            "no chains declared: deadlock analysis has nothing to "
+            "check",
+            location=spec.name))
+    return findings
+
+
+def _mesh_findings(model: DesignModel) -> list[Finding]:
+    findings: list[Finding] = []
+    mesh = model.mesh
+    if mesh is None:
+        return findings
+    for coord, names in sorted(model.tiles_at.items()):
+        if len(names) > 1:
+            findings.append(Finding(
+                "BHV101",
+                f"tiles {', '.join(repr(n) for n in names)} share "
+                f"coordinates {coord} (one local port, interleaved "
+                "traffic)",
+                location=names[-1]))
+        if coord not in mesh.routers:
+            findings.append(Finding(
+                "BHV102",
+                f"tile {names[0]!r} at {coord} is outside the "
+                f"{mesh.width}x{mesh.height} mesh",
+                location=names[0]))
+    return findings
+
+
+def _routing_findings(model: DesignModel) -> list[Finding]:
+    findings: list[Finding] = []
+    reached: set[str] = set()
+    for src, dst, coord in model.forwarding_edges():
+        if dst is None:
+            findings.append(Finding(
+                "BHV104",
+                f"tile {src!r} routes to {coord}, where no tile is "
+                "attached — ejected flits would wedge the router",
+                location=src,
+                hint="attach a tile at that coordinate or fix the "
+                     "next-hop entry"))
+        else:
+            reached.add(dst)
+    for chain in model.declared_chains:
+        reached.update(chain[1:])
+    for name, tile in model.tiles.items():
+        if name in reached:
+            continue
+        if hasattr(tile, "push_frame"):
+            continue  # an ingress: frames enter from outside the NoC
+        if isinstance(tile, Tile) and \
+                type(tile).on_cycle is not Tile.on_cycle:
+            continue  # originates its own traffic
+        if not isinstance(tile, Tile):
+            continue  # non-framework component; cannot reason about it
+        findings.append(Finding(
+            "BHV103",
+            f"tile {name!r} has no ingress, no incoming route, and "
+            "originates no traffic",
+            location=name,
+            hint="dead tile: remove it or wire a next-hop entry to it"))
+    return findings
+
+
+def _registration_findings(model: DesignModel) -> list[Finding]:
+    findings: list[Finding] = []
+    if model.sim is None:
+        return findings
+    counts: dict[int, int] = {}
+    registered: set[int] = set()
+    by_id: dict[int, object] = {}
+    for component in model.components():
+        key = id(component)
+        counts[key] = counts.get(key, 0) + 1
+        registered.add(key)
+        by_id[key] = component
+    for key, count in counts.items():
+        if count > 1:
+            findings.append(Finding(
+                "BHV106",
+                f"component {by_id[key]!r} registered {count} times — "
+                "it steps (and commits) that many times per cycle",
+                location=getattr(by_id[key], "name", "")))
+    for port in model.attached_ports():
+        if id(port) not in registered:
+            findings.append(Finding(
+                "BHV107",
+                f"local port at {port.coord} is attached to the mesh "
+                "but never added to the simulator",
+                location=str(port.coord),
+                hint="register it (Mesh.register does this for ports "
+                     "attached before the call)"))
+    for name, tile in model.tiles.items():
+        if id(tile) not in registered:
+            findings.append(Finding(
+                "BHV107",
+                f"tile {name!r} is part of the design but never added "
+                "to the simulator",
+                location=name))
+    return findings
+
+
+def _sizing_findings(model: DesignModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for name, tile in model.tiles.items():
+        if not isinstance(tile, Tile):
+            continue
+        if tile.max_tx_backlog < 1:
+            findings.append(Finding(
+                "BHV111",
+                f"tile {name!r} has max_tx_backlog="
+                f"{tile.max_tx_backlog}: its engine can never pick up "
+                "a message",
+                location=name))
+        if tile.buffer_flits < 1:
+            findings.append(Finding(
+                "BHV111",
+                f"tile {name!r} has buffer_flits={tile.buffer_flits}: "
+                "it can never start receiving a message",
+                location=name))
+        eject = tile.port.eject_fifo
+        if eject.capacity is None:
+            findings.append(Finding(
+                "BHV110",
+                f"tile {name!r} has an unbounded ejection FIFO — "
+                "credit backpressure (and the deadlock model) assumes "
+                "bounded ejection",
+                location=name))
+    if model.mesh is not None:
+        for coord, router in model.mesh.routers.items():
+            for port_enum, fifo in router.inputs.items():
+                if fifo.capacity is not None and fifo.capacity < 2:
+                    findings.append(Finding(
+                        "BHV110",
+                        f"router {coord} input {port_enum.value!r} has "
+                        f"a {fifo.capacity}-flit FIFO; depth < 2 "
+                        "serialises every hop",
+                        location=str(coord)))
+                    break  # one finding per router is enough
+    return findings
+
+
+def run(design) -> list[Finding]:
+    """The BHV1xx lint pass over an instantiated design."""
+    model = extract(design)
+    findings = _mesh_findings(model)
+    findings.extend(_routing_findings(model))
+    findings.extend(_registration_findings(model))
+    findings.extend(_sizing_findings(model))
+    return findings

@@ -20,11 +20,11 @@ class GFMatrix:
         return self.data.shape
 
     @classmethod
-    def identity(cls, n: int) -> "GFMatrix":
+    def identity(cls, n: int) -> GFMatrix:
         return cls(np.eye(n, dtype=np.uint8))
 
     @classmethod
-    def vandermonde(cls, rows: int, cols: int) -> "GFMatrix":
+    def vandermonde(cls, rows: int, cols: int) -> GFMatrix:
         """V[r][c] = r ** c — every square submatrix of the derived
         (BackBlaze-style) encoding matrix is invertible."""
         data = np.zeros((rows, cols), dtype=np.uint8)
@@ -33,7 +33,7 @@ class GFMatrix:
                 data[r][c] = GF.power(r, c)
         return cls(data)
 
-    def times(self, other: "GFMatrix") -> "GFMatrix":
+    def times(self, other: GFMatrix) -> GFMatrix:
         rows_a, cols_a = self.shape
         rows_b, cols_b = other.shape
         if cols_a != rows_b:
@@ -48,16 +48,16 @@ class GFMatrix:
             out[r] = acc
         return GFMatrix(out)
 
-    def augment(self, other: "GFMatrix") -> "GFMatrix":
+    def augment(self, other: GFMatrix) -> GFMatrix:
         return GFMatrix(np.concatenate([self.data, other.data], axis=1))
 
-    def submatrix(self, rows, cols) -> "GFMatrix":
+    def submatrix(self, rows, cols) -> GFMatrix:
         return GFMatrix(self.data[np.ix_(rows, cols)])
 
-    def select_rows(self, rows) -> "GFMatrix":
+    def select_rows(self, rows) -> GFMatrix:
         return GFMatrix(self.data[list(rows)])
 
-    def invert(self) -> "GFMatrix":
+    def invert(self) -> GFMatrix:
         """Gauss-Jordan elimination over the field."""
         n, m = self.shape
         if n != m:

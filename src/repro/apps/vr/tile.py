@@ -40,7 +40,7 @@ class PrepareWire:
                           self.shard, self.digest)
 
     @classmethod
-    def unpack(cls, data: bytes) -> "PrepareWire":
+    def unpack(cls, data: bytes) -> PrepareWire:
         if len(data) < _WIRE.size:
             raise ValueError(f"short VR message: {len(data)}")
         msg_type, view, opnum, shard, digest = _WIRE.unpack_from(data)

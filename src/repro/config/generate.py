@@ -11,11 +11,11 @@ the Table VI lines-of-code accounting has the same meaning.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.config.schema import DesignSpec, TileSpec
 from repro.config.validate import validate
-from repro.deadlock.analysis import assert_deadlock_free
+from repro.analysis.deadlock import assert_deadlock_free
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address

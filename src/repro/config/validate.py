@@ -4,12 +4,19 @@
 coordinates are within the expected dimensions of the design.  Because
 a 2D mesh must be a rectangle, this also gives us the opportunity to
 automatically generate empty tiles."
+
+The checks themselves live in :mod:`repro.analysis.structural` (the
+unified finding pipeline, codes BHV1xx); this module keeps the
+historical exception-based API used by the XML tooling and the design
+generator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.structural import lint_spec
 from repro.config.schema import DesignSpec
 
 
@@ -23,58 +30,18 @@ class ValidationError(ValueError):
 class ValidationReport:
     empty_coords: list = field(default_factory=list)
     warnings: list = field(default_factory=list)
+    findings: list = field(default_factory=list)
 
 
 def validate(design: DesignSpec) -> ValidationReport:
     """Raise :class:`ValidationError` on a broken design; otherwise
     return the report (including auto-generated empty-tile coords)."""
-    problems: list[str] = []
-    if design.width < 1 or design.height < 1:
-        problems.append(
-            f"bad dimensions {design.width}x{design.height}"
-        )
-    seen_names: set[str] = set()
-    seen_coords: dict = {}
-    for tile in design.tiles:
-        if tile.name in seen_names:
-            problems.append(f"duplicate tile name {tile.name!r}")
-        seen_names.add(tile.name)
-        if not (0 <= tile.x < design.width
-                and 0 <= tile.y < design.height):
-            problems.append(
-                f"tile {tile.name!r} at {tile.coord} is outside the "
-                f"{design.width}x{design.height} mesh"
-            )
-        elif tile.coord in seen_coords:
-            problems.append(
-                f"tiles {seen_coords[tile.coord]!r} and {tile.name!r} "
-                f"share coordinates {tile.coord}"
-            )
-        else:
-            seen_coords[tile.coord] = tile.name
-        for dest in tile.dests:
-            for target in dest.targets:
-                if target not in {t.name for t in design.tiles}:
-                    problems.append(
-                        f"tile {tile.name!r} routes to unknown tile "
-                        f"{target!r}"
-                    )
-            if not dest.targets:
-                problems.append(
-                    f"tile {tile.name!r} has a destination with no "
-                    "targets"
-                )
-    for chain in design.chains:
-        for name in chain.tiles:
-            if name not in seen_names:
-                problems.append(
-                    f"chain references unknown tile {name!r}"
-                )
+    findings: list[Finding] = lint_spec(design)
+    problems = [f.message for f in findings if f.severity == ERROR]
     if problems:
         raise ValidationError(problems)
-    report = ValidationReport(empty_coords=design.empty_coords())
-    if not design.chains:
-        report.warnings.append(
-            "no chains declared: deadlock analysis has nothing to check"
-        )
-    return report
+    return ValidationReport(
+        empty_coords=design.empty_coords(),
+        warnings=[f.message for f in findings if f.severity != ERROR],
+        findings=findings,
+    )

@@ -16,7 +16,7 @@ and returns ACKs to the sender.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.control.messages import (
     ControlAck,
@@ -32,7 +32,7 @@ from repro.sim.kernel import CycleSimulator, Wakeable
 class ControlEndpoint(Wakeable):
     """A tile's attachment to the control NoC (a clocked component)."""
 
-    def __init__(self, plane: "ControlPlane", coord: tuple[int, int],
+    def __init__(self, plane: ControlPlane, coord: tuple[int, int],
                  name: str):
         self.plane = plane
         self.coord = coord

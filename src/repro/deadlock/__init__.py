@@ -5,10 +5,11 @@ remaining hazard is message-level deadlock across chained tiles: a
 streaming chain holds its earlier NoC links while acquiring later ones,
 so if any link must be *re*-acquired (Fig 5a) the chain waits on itself.
 
-:mod:`repro.deadlock.analysis` builds the resource dependency graph
-from a design's declared message chains and reports any cycle with a
-witness.  :mod:`repro.deadlock.demo` contains cut-through relay tiles
-that make the Fig 5a deadlock actually happen in the cycle simulator
+The analysis itself now lives in :mod:`repro.analysis.deadlock`, where
+it is one pass of the unified design linter
+(``python -m repro.tools.lint``); this package re-exports the stable
+API and keeps :mod:`repro.deadlock.demo`, whose cut-through relay
+tiles make the Fig 5a deadlock actually happen in the cycle simulator
 (and Fig 5b run clean) — the runtime counterpart of the static check.
 """
 

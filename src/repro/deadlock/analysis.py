@@ -1,127 +1,38 @@
-"""Static resource-dependency analysis of message chains.
+"""Compatibility shim — the analysis moved to :mod:`repro.analysis`.
 
-A *resource* is a directed NoC link ``((x, y), port)`` — the output
-port of the router at (x, y), including the LOCAL ejection port into a
-tile.  A *chain* is the tile sequence a packet class traverses (all
-chains are known at compile time, section IV-E).
-
-Under wormhole switching with streaming tiles, a packet flowing down a
-chain can simultaneously hold every link from its current tail position
-back upstream; equivalently, the chain acquires the concatenated link
-sequence of all its hops in order.  We add a dependency edge between
-each consecutive pair of resources in that order; a cycle anywhere in
-the union graph over all chains is a potential deadlock, and the
-shortest witness cycle is reported so the designer can re-place tiles
-(the paper's prescribed fix).
+The static resource-dependency analysis now lives in
+:mod:`repro.analysis.deadlock`, where it is one pass of the unified
+design linter (``python -m repro.tools.lint``).  This module re-exports
+the stable API so existing imports keep working; :func:`analyze_chains`
+is deprecated in favour of the canonical home (or, for whole designs,
+:func:`repro.analysis.analyze`).
 """
 
 from __future__ import annotations
 
-import networkx as nx
+import warnings
 
-from repro.noc.routing import Port, route_path, xy_route
+from repro.analysis.deadlock import (  # noqa: F401 - re-exports
+    DeadlockError,
+    analyze_design,
+    assert_deadlock_free,
+    build_dependency_graph,
+    chain_link_sequence,
+)
+from repro.analysis.deadlock import analyze_chains as _analyze_chains
+from repro.noc.routing import xy_route
 
 Coord = tuple
 Resource = tuple  # ((x, y), Port)
 
 
-class DeadlockError(RuntimeError):
-    """Raised when a design's chains admit a resource cycle."""
-
-    def __init__(self, cycle: list, chains_involved: list[str]):
-        self.cycle = cycle
-        self.chains_involved = chains_involved
-        links = " -> ".join(f"{coord}:{port.value}"
-                            for coord, port in cycle)
-        super().__init__(
-            f"message-level deadlock: resource cycle [{links}] "
-            f"(chains: {', '.join(chains_involved) or 'unknown'}); "
-            "re-place the tiles so each chain acquires links in order"
-        )
-
-
-def chain_link_sequence(chain: list[str],
-                        coords: dict[str, Coord],
-                        route_fn=xy_route) -> list[Resource]:
-    """The ordered list of NoC links a chain can hold simultaneously.
-
-    Each tile-to-tile hop contributes its full XY route, including the
-    final LOCAL ejection into the destination tile.
-    """
-    missing = [name for name in chain if name not in coords]
-    if missing:
-        raise KeyError(f"chain references unknown tiles: {missing}")
-    links: list[Resource] = []
-    for src_name, dst_name in zip(chain, chain[1:]):
-        src, dst = coords[src_name], coords[dst_name]
-        if src == dst:
-            raise ValueError(
-                f"chain hop {src_name}->{dst_name} stays on one tile"
-            )
-        links.extend(route_path(src, dst, route_fn))
-    return links
-
-
-def build_dependency_graph(chains: list[list[str]],
-                           coords: dict[str, Coord],
-                           route_fn=xy_route) -> nx.DiGraph:
-    """Union of every chain's consecutive-resource dependency edges."""
-    graph = nx.DiGraph()
-    for index, chain in enumerate(chains):
-        name = "->".join(chain)
-        sequence = chain_link_sequence(chain, coords, route_fn)
-        for held, wanted in zip(sequence, sequence[1:]):
-            if held == wanted:
-                continue
-            if graph.has_edge(held, wanted):
-                graph[held][wanted]["chains"].add(name)
-            else:
-                graph.add_edge(held, wanted, chains={name})
-        # A repeated resource inside one chain is an immediate self-wait.
-        seen: dict[Resource, int] = {}
-        for position, resource in enumerate(sequence):
-            if resource in seen and resource[1] != Port.LOCAL:
-                graph.add_edge(resource, resource, chains={name})
-            seen[resource] = position
-    return graph
-
-
-def analyze_chains(chains: list[list[str]],
-                   coords: dict[str, Coord],
-                   route_fn=xy_route) -> list | None:
-    """Returns a witness resource cycle, or None if deadlock-free.
-
-    LOCAL ejection ports are consumed by tiles (which always drain
-    eventually in a correct design), so a cycle must involve at least
-    one mesh link to be a true NoC deadlock.
-    """
-    graph = build_dependency_graph(chains, coords, route_fn)
-    try:
-        cycle_edges = nx.find_cycle(graph, orientation="original")
-    except nx.NetworkXNoCycle:
-        return None
-    cycle = [edge[0] for edge in cycle_edges]
-    if all(resource[1] == Port.LOCAL for resource in cycle):
-        return None
-    return cycle
-
-
-def assert_deadlock_free(chains: list[list[str]],
-                         coords: dict[str, Coord],
-                         route_fn=xy_route) -> None:
-    """Raise :class:`DeadlockError` if the chains admit a cycle."""
-    cycle = analyze_chains(chains, coords, route_fn)
-    if cycle is None:
-        return
-    graph = build_dependency_graph(chains, coords, route_fn)
-    involved: set[str] = set()
-    cycle_set = set(cycle)
-    for held, wanted, data in graph.edges(data=True):
-        if held in cycle_set and wanted in cycle_set:
-            involved.update(data["chains"])
-    raise DeadlockError(cycle, sorted(involved))
-
-
-def analyze_design(design) -> None:
-    """Convenience: check a built design exposing .chains/.tile_coords."""
-    assert_deadlock_free(design.chains, design.tile_coords)
+def analyze_chains(chains, coords, route_fn=xy_route):
+    """Deprecated alias for :func:`repro.analysis.analyze_chains`."""
+    warnings.warn(
+        "repro.deadlock.analyze_chains moved to repro.analysis; "
+        "use repro.analysis.analyze_chains (or repro.analysis.analyze "
+        "for whole-design linting)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _analyze_chains(chains, coords, route_fn)

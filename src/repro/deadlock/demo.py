@@ -74,32 +74,52 @@ class CutThroughTile:
     def commit(self) -> None:
         pass  # the LocalPort (registered by the mesh) commits the FIFOs
 
+    def lint_dest_coords(self):
+        """Static destinations for the design linter's derived-chain
+        analysis (this tile has no NextHopTable)."""
+        return [] if self.next_coord is None else [self.next_coord]
 
-def build_fig5_layout(variant: str):
-    """Build the Fig 5 receive chain eth -> ip -> udp -> app on a 4x1
-    mesh in the deadlocking (a) or safe (b) tile placement.
+
+class Fig5Design:
+    """The Fig 5 receive chain eth -> ip -> udp -> app on a 4x1 mesh,
+    in the deadlocking (``variant="a"``) or safe (``"b"``) placement.
 
     The Ethernet position is the injection point (its processing is the
     message entering the NoC); ip and udp are streaming relays; app is
-    a sink.  Returns (sim, ingress_port, tiles, chain, coords).
+    a sink.  Shaped like a design (``sim``/``mesh``/``tiles``/
+    ``chains``/``tile_coords``) so ``python -m repro.tools.lint`` can
+    analyze it directly.
     """
-    if variant == "a":
-        coords = {"eth": (0, 0), "ip": (2, 0), "udp": (1, 0),
-                  "app": (3, 0)}
-    elif variant == "b":
-        coords = {"eth": (0, 0), "ip": (1, 0), "udp": (2, 0),
-                  "app": (3, 0)}
-    else:
-        raise ValueError(f"unknown Fig 5 variant {variant!r}")
-    sim = CycleSimulator()
-    mesh = Mesh(4, 1)
-    tiles = {
-        "ip": CutThroughTile("ip", mesh, coords["ip"], coords["udp"]),
-        "udp": CutThroughTile("udp", mesh, coords["udp"], coords["app"]),
-        "app": CutThroughTile("app", mesh, coords["app"], None),
-    }
-    ingress = mesh.attach(coords["eth"])
-    mesh.register(sim)
-    sim.add_all(tiles.values())
-    chain = ["eth", "ip", "udp", "app"]
-    return sim, ingress, tiles, chain, coords
+
+    def __init__(self, variant: str = "a"):
+        if variant == "a":
+            coords = {"eth": (0, 0), "ip": (2, 0), "udp": (1, 0),
+                      "app": (3, 0)}
+        elif variant == "b":
+            coords = {"eth": (0, 0), "ip": (1, 0), "udp": (2, 0),
+                      "app": (3, 0)}
+        else:
+            raise ValueError(f"unknown Fig 5 variant {variant!r}")
+        self.variant = variant
+        self.sim = CycleSimulator()
+        self.mesh = Mesh(4, 1)
+        self.tiles = {
+            "ip": CutThroughTile("ip", self.mesh, coords["ip"],
+                                 coords["udp"]),
+            "udp": CutThroughTile("udp", self.mesh, coords["udp"],
+                                  coords["app"]),
+            "app": CutThroughTile("app", self.mesh, coords["app"], None),
+        }
+        self.ingress = self.mesh.attach(coords["eth"])
+        self.mesh.register(self.sim)
+        self.sim.add_all(self.tiles.values())
+        self.chains = [["eth", "ip", "udp", "app"]]
+        self.tile_coords = dict(coords)
+
+
+def build_fig5_layout(variant: str):
+    """Build a :class:`Fig5Design` and unpack it the historical way:
+    ``(sim, ingress_port, tiles, chain, coords)``."""
+    design = Fig5Design(variant)
+    return (design.sim, design.ingress, design.tiles,
+            design.chains[0], design.tile_coords)

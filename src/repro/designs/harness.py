@@ -11,7 +11,7 @@ goodput the way the paper plots it (UDP payload bytes per second).
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 from repro import params
 from repro.packet.builder import parse_frame

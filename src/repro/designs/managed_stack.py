@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.control.controller import InternalControllerTile
 from repro.control.plane import ControlPlane
-from repro.deadlock.analysis import assert_deadlock_free
+from repro.analysis.deadlock import assert_deadlock_free
 from repro.designs.virt_stack import NatEchoDesign
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address

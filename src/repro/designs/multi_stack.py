@@ -15,7 +15,7 @@ Layout (5 x 2N mesh), rows r = 2k, 2k+1 per stack k:
 from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
-from repro.deadlock.analysis import assert_deadlock_free
+from repro.analysis.deadlock import assert_deadlock_free
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address

@@ -18,7 +18,7 @@ from repro.apps.echo import UdpEchoAppTile
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
-from repro.deadlock.analysis import assert_deadlock_free
+from repro.analysis.deadlock import assert_deadlock_free
 from repro.sim.kernel import CycleSimulator
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile

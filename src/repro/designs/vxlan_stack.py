@@ -19,7 +19,7 @@ wraps and emits it.
 from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
-from repro.deadlock.analysis import assert_deadlock_free
+from repro.analysis.deadlock import assert_deadlock_free
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address

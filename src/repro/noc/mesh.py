@@ -173,7 +173,7 @@ class Mesh:
         return port
 
     @property
-    def ports(self) -> dict[tuple[int, int], "LocalPort"]:
+    def ports(self) -> dict[tuple[int, int], LocalPort]:
         """All attached local ports, keyed by coordinate."""
         return self._ports
 

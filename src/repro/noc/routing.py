@@ -20,7 +20,7 @@ class Port(enum.Enum):
     SOUTH = "south"
 
     @property
-    def opposite(self) -> "Port":
+    def opposite(self) -> Port:
         return _OPPOSITE[self]
 
 

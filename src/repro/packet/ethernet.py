@@ -58,7 +58,7 @@ class MacAddress:
         return ":".join(f"{b:02x}" for b in self._raw)
 
     @classmethod
-    def broadcast(cls) -> "MacAddress":
+    def broadcast(cls) -> MacAddress:
         return cls(b"\xff" * 6)
 
 

@@ -58,7 +58,7 @@ class IPv4Address:
     def __eq__(self, other) -> bool:
         return isinstance(other, IPv4Address) and self._value == other._value
 
-    def __lt__(self, other: "IPv4Address") -> bool:
+    def __lt__(self, other: IPv4Address) -> bool:
         return self._value < other._value
 
     def __hash__(self) -> int:

@@ -68,7 +68,8 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Iterable, Protocol, runtime_checkable
+from collections.abc import Callable, Iterable
+from typing import Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -293,6 +294,10 @@ class CycleSimulator:
                 # here means this component is not being stepped.
                 self._late_wakes.append(component)
 
+        # Tag the closure with its target so static analysis
+        # (repro.analysis.wake) can verify FIFO hooks are wired to the
+        # component that consumes the FIFO.
+        wake.component = component
         return wake
 
     def wake(self, component) -> None:
@@ -472,11 +477,15 @@ class CycleSimulator:
         ``max_cycles`` — the standard way tests detect a hung (e.g.
         deadlocked) design.
 
-        Under the scheduled kernel, fully idle stretches are skipped and
-        the condition re-checked after each jump.  Conditions should be
-        state-based (frames received, counters advanced); a condition
-        that depends on ``sim.cycle`` alone may be observed a few cycles
-        after it first became true if that happened mid-skip.
+        Under the scheduled kernel, fully idle stretches are skipped
+        and the condition re-evaluated at each wake boundary.  During
+        a stretch no simulated state changes except ``self.cycle``, so
+        a condition that flips mid-stretch (e.g. ``sim.cycle >= N``)
+        is located by bisection and observed at the exact cycle it
+        first became true — never overshot.  (A condition that flips
+        back and forth *within* one idle stretch as a function of the
+        cycle number alone has no well-defined first-true cycle under
+        any scheduler; bisection returns one of its true cycles.)
         """
         start = self.cycle
         limit = start + max_cycles
@@ -489,7 +498,37 @@ class CycleSimulator:
                 wake = self._next_wake_cycle()
                 target = limit if wake is None else min(wake, limit)
                 if target > self.cycle:
-                    self._skip_to(target)
+                    self._skip_to_condition(condition, target)
                     continue
             self.tick()
         return self.cycle - start
+
+    def _skip_to_condition(
+        self,
+        condition: Callable[[], bool],
+        target: int,
+    ) -> None:
+        """Skip an idle stretch, stopping at the first cycle in
+        ``(cycle, target]`` where ``condition`` holds (if any).
+
+        Only the clock advances during an idle stretch, so probing the
+        condition at a trial cycle is just a matter of setting
+        ``self.cycle`` — no component state is touched.
+        """
+        here = self.cycle
+        self.cycle = target
+        fired = condition()
+        self.cycle = here
+        if not fired:
+            self._skip_to(target)
+            return
+        lo, hi = here + 1, target
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.cycle = mid
+            if condition():
+                hi = mid
+            else:
+                lo = mid + 1
+        self.cycle = here
+        self._skip_to(lo)

@@ -34,7 +34,7 @@ class PeerNetwork:
         self._inboxes: dict[tuple[int, int], deque] = {}
         self.unrouted = 0
 
-    def register(self, peer: "SoftTcpPeer") -> None:
+    def register(self, peer: SoftTcpPeer) -> None:
         inbox: deque = deque()
         self._inboxes[(int(peer.my_ip), peer.src_port)] = inbox
         peer._inbox = inbox

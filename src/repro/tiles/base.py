@@ -32,7 +32,7 @@ from __future__ import annotations
 import zlib
 from collections import Counter, deque
 from dataclasses import dataclass, replace
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro import params
 from repro.noc.mesh import LocalPort, Mesh
@@ -63,7 +63,7 @@ class PacketMeta:
     ingress_cycle: int | None = None
     flow_hint: object = None  # app/scheduler cookie (e.g. shard id)
 
-    def clone(self) -> "PacketMeta":
+    def clone(self) -> PacketMeta:
         return replace(self)
 
     def four_tuple(self) -> tuple:
@@ -154,6 +154,12 @@ class Tile(Wakeable):
     """
 
     KIND = "generic"  # key into the resource model's cost tables
+
+    # True for tiles whose bounded *dropping* buffer decouples their
+    # upstream from their downstream (e.g. the packet log's readback
+    # queue): the static deadlock analyzer splits derived streaming
+    # chains at such tiles instead of coupling across them.
+    CHAIN_BOUNDARY = False
 
     # Tracing sink (shared no-op unless attach_tracer replaces it).
     tracer = NULL_TRACER

@@ -50,7 +50,7 @@ class LogEntry:
         ) + blob
 
     @classmethod
-    def unpack(cls, data: bytes) -> "LogEntry":
+    def unpack(cls, data: bytes) -> LogEntry:
         cycle, seq, ack, length = struct.unpack_from("!QIIH", data)
         text = data[18:].decode()
         direction, flags, summary = text.split(";", 2)
@@ -79,6 +79,12 @@ class PacketLogTile(Tile):
     """A pass-through tap that logs headers with cycle timestamps."""
 
     KIND = "log_tile"
+
+    # The bounded, *dropping* request buffer decouples the readback
+    # path from the forward path (section V-F), so derived streaming
+    # chains split here — matching the segmented chains the logged
+    # designs declare.
+    CHAIN_BOUNDARY = True
 
     FORWARD = "forward"
 

@@ -25,7 +25,7 @@ from repro.config import (
     validate,
 )
 from repro.config.validate import ValidationError
-from repro.deadlock.analysis import analyze_chains
+from repro.analysis.deadlock import analyze_chains
 from repro.resources import tile_cost
 from repro import params
 

@@ -1,0 +1,212 @@
+"""The design linter as a command line.
+
+    python -m repro.tools.lint udp_echo
+    python -m repro.tools.lint design.xml --json
+    python -m repro.tools.lint --all
+    python -m repro.tools.lint --list-codes
+
+A target is either the name of a shipped design (see ``--list``) or a
+path to a design XML file.  Named designs are instantiated and every
+analysis pass runs over the real objects — mesh, routers, next-hop
+tables, simulator components.  XML targets are first spec-linted, then
+built with :class:`repro.config.generate.GeneratedDesign` and analyzed
+the same way.
+
+Exit status: 0 clean (warnings allowed unless ``--strict``), 1 when
+any error-severity finding is reported, 2 when a target cannot be
+loaded at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import CODES, AnalysisReport, analyze
+from repro.analysis.findings import Finding
+
+
+def _shipped_designs():
+    """name -> zero-argument design factory, for every shipped design."""
+    from repro.designs import (
+        IpInIpEchoDesign,
+        LoggedUdpEchoDesign,
+        ManagedNatEchoDesign,
+        MultiStackDesign,
+        NatEchoDesign,
+        RsDesign,
+        ScaledEchoDesign,
+        TcpServerDesign,
+        UdpEchoDesign,
+        VrWitnessDesign,
+        VxlanEchoDesign,
+    )
+    return {
+        "udp_echo": UdpEchoDesign,
+        "logged_udp_echo": LoggedUdpEchoDesign,
+        "nat_echo": NatEchoDesign,
+        "ipinip_echo": IpInIpEchoDesign,
+        "managed_nat_echo": ManagedNatEchoDesign,
+        "multi_stack": MultiStackDesign,
+        "scaled_echo": ScaledEchoDesign,
+        "tcp_server": TcpServerDesign,
+        "tcp_server_logged": lambda: TcpServerDesign(with_logging=True),
+        "rs": RsDesign,
+        "vr_witness": VrWitnessDesign,
+        "vxlan_echo": VxlanEchoDesign,
+    }
+
+
+def _demo_designs():
+    """Seeded-bug targets: useful for demos and the linter's own tests,
+    deliberately excluded from ``--all``."""
+    from repro.analysis.demo import build_broken_wake_design
+    from repro.deadlock.demo import Fig5Design
+
+    return {
+        "fig5a": lambda: Fig5Design("a"),
+        "fig5b": lambda: Fig5Design("b"),
+        "broken_wake": build_broken_wake_design,
+    }
+
+
+def _lint_xml(path: str, passes) -> AnalysisReport:
+    """Spec-lint an XML file, then build it and run the instance passes.
+
+    Build-time rejections (the generator's own validation and deadlock
+    gate) are folded into the report instead of escaping as tracebacks.
+    """
+    from repro.analysis import lint_spec
+    from repro.analysis.deadlock import DeadlockError
+    from repro.config import design_from_xml
+    from repro.config.generate import GeneratedDesign
+    from repro.config.validate import ValidationError
+
+    with open(path) as handle:
+        spec = design_from_xml(handle.read())
+    report = AnalysisReport(target=f"{spec.name} ({path})")
+    report.extend(lint_spec(spec))
+    report.passes_run.append("spec")
+    if not report.ok:
+        return report  # cannot build a spec the spec-lint rejects
+    try:
+        design = GeneratedDesign(spec)
+    except ValidationError as error:
+        for problem in error.problems:
+            report.findings.append(Finding(
+                "BHV120", f"build rejected: {problem}", location=path))
+        return report
+    except DeadlockError as error:
+        report.findings.append(Finding(
+            "BHV201", f"build rejected: {error}", location=path,
+            hint="re-place the tiles so each chain acquires links in "
+                 "ascending order (paper Fig 5b)"))
+        return report
+    instance = analyze(design, name=report.target, passes=passes)
+    report.extend(instance.findings)
+    report.passes_run.extend(instance.passes_run)
+    return report
+
+
+def _lint_named(name: str, factory, passes) -> AnalysisReport:
+    design = factory()
+    return analyze(design, name=name, passes=passes)
+
+
+def _print_codes() -> None:
+    print(f"{'code':<8} {'severity':<8} description")
+    for code, (severity, description) in sorted(CODES.items()):
+        print(f"{code:<8} {severity:<8} {description}")
+
+
+def _exit_code(report: AnalysisReport, strict: bool) -> int:
+    if not report.ok:
+        return 1
+    if strict and report.warnings:
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.lint",
+        description="Static analysis of Beehive designs: topology "
+                    "(BHV1xx), routing/deadlock (BHV2xx), and "
+                    "kernel wake contracts (BHV3xx).",
+    )
+    parser.add_argument("targets", nargs="*",
+                        help="shipped design name or design XML path")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every shipped design")
+    parser.add_argument("--list", action="store_true", dest="list_designs",
+                        help="list lintable design names and exit")
+    parser.add_argument("--list-codes", action="store_true",
+                        help="print the BHV finding-code table and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors")
+    parser.add_argument("--pass", action="append", dest="passes",
+                        metavar="PASS",
+                        help="run only this pass (repeatable): "
+                             "structural, deadlock, wake-contract")
+    args = parser.parse_args(argv)
+
+    if args.list_codes:
+        _print_codes()
+        return 0
+
+    shipped = _shipped_designs()
+    demos = _demo_designs()
+    if args.list_designs:
+        print("shipped:", " ".join(sorted(shipped)))
+        print("demos:  ", " ".join(sorted(demos)))
+        return 0
+
+    targets = list(args.targets)
+    if args.all:
+        targets.extend(name for name in sorted(shipped)
+                       if name not in targets)
+    if not targets:
+        parser.error("no targets (give a design name / XML path, "
+                     "or --all; --list shows the names)")
+
+    worst = 0
+    reports = []
+    for target in targets:
+        if target in shipped or target in demos:
+            factory = shipped.get(target) or demos[target]
+            try:
+                report = _lint_named(target, factory, args.passes)
+            except Exception as error:  # noqa: BLE001 - reported, not hidden
+                print(f"error: cannot build design {target!r}: {error}",
+                      file=sys.stderr)
+                return 2
+        elif target.endswith(".xml"):
+            try:
+                report = _lint_xml(target, args.passes)
+            except OSError as error:
+                print(f"error: cannot read {target}: {error}",
+                      file=sys.stderr)
+                return 2
+        else:
+            print(f"error: unknown design {target!r} (not a shipped "
+                  "design name or .xml path; --list shows the names)",
+                  file=sys.stderr)
+            return 2
+        reports.append(report)
+        worst = max(worst, _exit_code(report, args.strict))
+
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

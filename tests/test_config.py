@@ -116,6 +116,69 @@ class TestValidation:
         assert len(excinfo.value.problems) == 2
 
 
+class TestValidationEdgeCases:
+    """Degenerate-but-legal and corner-case topologies."""
+
+    def test_one_by_n_mesh_valid(self):
+        design = DesignSpec(name="line", width=1, height=4)
+        design.tiles = [
+            TileSpec(name="a", type="ip_rx", x=0, y=0),
+            TileSpec(name="b", type="ip_tx", x=0, y=3),
+        ]
+        report = validate(design)
+        assert report.empty_coords == [(0, 1), (0, 2)]
+
+    def test_n_by_one_mesh_rejects_out_of_range_y(self):
+        design = DesignSpec(name="row", width=4, height=1)
+        design.tiles = [TileSpec(name="a", type="ip_rx", x=0, y=1)]
+        with pytest.raises(ValidationError, match="outside"):
+            validate(design)
+
+    def test_one_by_one_mesh_single_tile(self):
+        design = DesignSpec(name="dot", width=1, height=1)
+        design.tiles = [TileSpec(name="only", type="ip_rx", x=0, y=0)]
+        report = validate(design)
+        assert report.empty_coords == []
+
+    def test_duplicate_coords_distinct_names_lists_both(self):
+        design = DesignSpec(name="dup", width=2, height=2)
+        design.tiles = [
+            TileSpec(name="first", type="ip_rx", x=1, y=1),
+            TileSpec(name="second", type="ip_tx", x=1, y=1),
+        ]
+        with pytest.raises(ValidationError,
+                           match="share coordinates") as excinfo:
+            validate(design)
+        # Both offending tiles are named so the fix is obvious.
+        assert "first" in str(excinfo.value)
+        assert "second" in str(excinfo.value)
+
+    def test_corner_empty_tiles_autogenerated(self):
+        """A lone centre tile leaves all four corners (and edges) to
+        the empty-tile generator, in row-major order."""
+        design = DesignSpec(name="corners", width=3, height=3)
+        design.tiles = [TileSpec(name="mid", type="ip_rx", x=1, y=1)]
+        report = validate(design)
+        everything = {(x, y) for x in range(3) for y in range(3)}
+        assert set(report.empty_coords) == everything - {(1, 1)}
+        assert report.empty_coords[0] == (0, 0)
+        assert report.empty_coords[-1] == (2, 2)
+
+    def test_no_chains_is_a_warning_not_an_error(self):
+        design = DesignSpec(name="quiet", width=2, height=1)
+        design.tiles = [TileSpec(name="a", type="ip_rx", x=0, y=0)]
+        report = validate(design)
+        assert any("no chains declared" in w for w in report.warnings)
+
+    def test_report_carries_findings(self):
+        """The report exposes the underlying BHV findings so callers
+        can act on codes rather than parsing message text."""
+        design = DesignSpec(name="quiet", width=2, height=1)
+        design.tiles = [TileSpec(name="a", type="ip_rx", x=0, y=0)]
+        report = validate(design)
+        assert [f.code for f in report.findings] == ["BHV122"]
+
+
 class TestGeneratedDesign:
     def test_builds_and_echoes(self):
         """The XML-generated design behaves like the handwritten one."""

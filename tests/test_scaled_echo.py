@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro import params
-from repro.deadlock import analyze_chains
+from repro.analysis import analyze_chains
 from repro.designs import FrameSink, ScaledEchoDesign
 from repro.packet import (
     IPv4Address,

@@ -343,3 +343,51 @@ class TestScheduledKernel:
         sim.wake(alarm)
         sim.run(90)
         assert alarm.fired == [30, 60, 90]
+
+
+class TestRunUntilExactness:
+    """run_until must observe the condition at the exact cycle it
+    first becomes true, even when that cycle falls in the middle of an
+    idle-skipped stretch (ROADMAP: predicates were previously only
+    evaluated at wake boundaries)."""
+
+    def test_predicate_mid_idle_stretch_not_overshot(self):
+        sim = CycleSimulator(kernel="scheduled")
+        sim.add(SleepyConsumer(StagedFifo()))
+        # Fully quiescent design: without re-evaluation the skip would
+        # jump straight to max_cycles and overshoot to 10_000.
+        consumed = sim.run_until(lambda: sim.cycle >= 337,
+                                 max_cycles=10_000)
+        assert sim.cycle == 337
+        assert consumed == 337
+
+    def test_predicate_between_timer_wakes(self):
+        sim = CycleSimulator(kernel="scheduled")
+        alarm = Alarm(period=100)
+        sim.add(alarm)
+        # 250 lies strictly inside the idle stretch (200, 300).
+        sim.run_until(lambda: sim.cycle >= 250, max_cycles=1000)
+        assert sim.cycle == 250
+        assert alarm.fired == [100, 200]
+
+    def test_predicate_at_stretch_start_consumes_nothing_extra(self):
+        sim = CycleSimulator(kernel="scheduled")
+        sim.add(SleepyConsumer(StagedFifo()))
+        sim.run(42)
+        assert sim.run_until(lambda: sim.cycle >= 42) == 0
+        assert sim.cycle == 42
+
+    def test_naive_kernel_semantics_unchanged(self):
+        sim = CycleSimulator(kernel="naive")
+        comp = Counter()
+        sim.add(comp)
+        consumed = sim.run_until(lambda: sim.cycle >= 7)
+        assert (sim.cycle, consumed) == (7, 7)
+        assert comp.steps == 7
+
+    def test_timeout_still_raised_when_never_true(self):
+        sim = CycleSimulator(kernel="scheduled")
+        sim.add(SleepyConsumer(StagedFifo()))
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False, max_cycles=123)
+        assert sim.cycle == 123

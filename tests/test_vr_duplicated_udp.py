@@ -3,7 +3,7 @@
 bottleneck")."""
 
 from repro.apps.vr.tile import MSG_PREPARE, MSG_PREPARE_OK, PrepareWire
-from repro.deadlock import analyze_chains
+from repro.analysis import analyze_chains
 from repro.designs import FrameSink, VrWitnessDesign
 from repro.packet import (
     IPv4Address,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.deadlock import analyze_chains
+from repro.analysis import analyze_chains
 from repro.designs import FrameSink, VxlanEchoDesign
 from repro.packet import (
     IPv4Address,
