@@ -48,9 +48,15 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 def _run(kernel: str, rate: float | None, cycles: int):
     """One run: (wall seconds, frames [(bytes, cycle)], cycles skipped)."""
     reset_id_counters()
+    # Pinned to the object mesh backend: this benchmark isolates the
+    # *kernel* axis (naive vs activity-scheduled), which is starkest
+    # when every router/port is its own schedulable component.  The
+    # flat backend skips idle routers internally either way and has
+    # its own benchmark (bench_mesh_backend.py).
     design = UdpEchoDesign(udp_port=7,
                            line_rate_bytes_per_cycle=LINE_RATE,
-                           kernel=kernel)
+                           kernel=kernel,
+                           mesh_backend="object")
     design.add_client(CLIENT_IP, CLIENT_MAC)
     frame = build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
                                  CLIENT_IP, design.server_ip, 5555, 7,

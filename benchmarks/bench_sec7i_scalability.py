@@ -5,16 +5,78 @@ added to a UDP stack until the router-to-router critical path fails
 250 MHz at 28 tiles total (22 application tiles), limited by timing,
 not LUTs; (2) NoC bandwidth scales with duplicated stacks up to the
 load balancer's serialisation limit (the Fig 12 companion numbers).
+
+A third, simulation-side sweep rides along: the scaled echo design is
+actually *run* at growing mesh sizes under the flat mesh backend
+(``repro.noc.flatmesh``), which collapses the whole fabric into one
+batch-stepped component.  The object backend is timed only at the
+paper's 7x4 floorplan; the 8x8 and 16x16 rows are flat-only — sizes
+where per-object stepping stops being CI-friendly — showing the
+backend extends the scalability story beyond the U200's 28-tile wall.
 """
+
+import time
 
 import pytest
 
 from repro import params
+from repro.designs import FrameSink, FrameSource
+from repro.designs.scaled_echo import ScaledEchoDesign
+from repro.noc.message import reset_id_counters
+from repro.packet import IPv4Address, MacAddress, build_ipv4_udp_frame
 from repro.resources import (
     max_frequency_mhz,
     max_placeable_tiles,
     tile_cost,
 )
+
+CLIENT_IP = IPv4Address("10.0.0.1")
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+SWEEP_CYCLES = 6_000
+# (width, height, app tiles, backends to time): the 7x4 row is the
+# paper's U200 floorplan and runs both backends; larger meshes flat
+# only.
+SWEEP_POINTS = (
+    (7, 4, 22, ("object", "flat")),
+    (8, 8, 58, ("flat",)),
+    (16, 16, 250, ("flat",)),
+)
+
+
+def _run_point(backend: str, width: int, height: int, n_apps: int):
+    reset_id_counters()
+    design = ScaledEchoDesign(n_apps=n_apps, width=width, height=height,
+                              mesh_backend=backend)
+    design.add_client(CLIENT_IP, CLIENT_MAC)
+    frames = [build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
+                                   CLIENT_IP, design.server_ip,
+                                   5000 + i, 7, bytes(1458))
+              for i in range(min(n_apps, 32))]
+    source = FrameSource(design.inject,
+                         lambda i: frames[i % len(frames)], rate=None)
+    sink = FrameSink(design.eth_tx)
+    design.sim.add(source)
+    design.sim.add(sink)
+    started = time.perf_counter()
+    design.sim.run(SWEEP_CYCLES)
+    wall = time.perf_counter() - started
+    return wall, len(sink.frames)
+
+
+def run_simulated_sweep():
+    rows = []
+    for width, height, n_apps, backends in SWEEP_POINTS:
+        walls = {}
+        frames = None
+        for backend in backends:
+            wall, got = _run_point(backend, width, height, n_apps)
+            walls[backend] = wall
+            assert frames is None or frames == got, \
+                "backends disagreed on delivered frames"
+            frames = got
+        rows.append((width, height, n_apps, frames,
+                     walls.get("object"), walls["flat"]))
+    return rows
 
 
 def run_scalability():
@@ -55,3 +117,18 @@ def bench_sec7i_scalability(benchmark, report):
     assert by_apps[22][2] >= 250.0   # 22 app tiles close timing
     assert by_apps[23][2] < 250.0    # 23 do not
     assert by_apps[22][4] < 25.0     # LUTs are nowhere near the wall
+
+    sweep = run_simulated_sweep()
+    report.row()
+    report.table(
+        ["mesh", "app tiles", "frames", "object s", "flat s"],
+        [[f"{w}x{h}", apps, frames,
+          "-" if obj is None else f"{obj:.2f}", f"{flat:.2f}"]
+         for w, h, apps, frames, obj, flat in sweep],
+    )
+    report.row("simulated sweep: 6k cycles of saturating MTU echo; "
+               "8x8 and 16x16 run under the flat backend only")
+    # Every row — including 16x16/250 apps, past the paper's 28-tile
+    # wall — must actually move traffic end to end.
+    for _w, _h, _apps, frames, _obj, _flat in sweep:
+        assert frames and frames > 0

@@ -112,6 +112,31 @@ class DesignModel:
             return []
         return list(self.sim._components)
 
+    def substeps(self, component) -> list:
+        """Sub-components ``component`` steps internally each cycle.
+
+        A registered component may absorb the step/commit of objects
+        that are not themselves in the simulator (the flat mesh core
+        steps every local port, for example) and declares them through
+        a ``kernel_substeps()`` hook.  The analysis passes treat a
+        substep as registered-by-proxy: its parent's schedule entry is
+        its schedule entry, and its parent's wake hooks are the ones
+        that must cover its inputs.
+        """
+        hook = getattr(component, "kernel_substeps", None)
+        if not callable(hook):
+            return []
+        return list(hook())
+
+    def substep_parents(self) -> dict[int, object]:
+        """Map ``id(substep) -> parent`` over all registered
+        components."""
+        parents: dict[int, object] = {}
+        for component in self.components():
+            for sub in self.substeps(component):
+                parents[id(sub)] = component
+        return parents
+
     def consumed_fifos(self, component) -> list[StagedFifo]:
         """The FIFOs ``component`` pops from during ``step``.
 

@@ -155,6 +155,22 @@ def _registration_findings(model: DesignModel) -> list[Finding]:
                 f"component {by_id[key]!r} registered {count} times — "
                 "it steps (and commits) that many times per cycle",
                 location=getattr(by_id[key], "name", "")))
+    # A substep is stepped by its parent, so it counts as registered —
+    # unless it is *also* in the simulator directly, in which case it
+    # steps twice per cycle.
+    substep_parents = model.substep_parents()
+    for key, parent in substep_parents.items():
+        if key in registered:
+            sub = next(s for s in model.substeps(parent)
+                       if id(s) == key)
+            findings.append(Finding(
+                "BHV106",
+                f"component {sub!r} is registered with the simulator "
+                f"and also stepped internally by "
+                f"{getattr(parent, 'name', parent)!r} — it steps "
+                "twice per cycle",
+                location=getattr(sub, "name", "")))
+    registered |= set(substep_parents)
     for port in model.attached_ports():
         if id(port) not in registered:
             findings.append(Finding(

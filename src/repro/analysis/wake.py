@@ -158,4 +158,28 @@ def run(design) -> list[Finding]:
                     "this component (was it added to the simulator "
                     "before the FIFO existed?)",
                     location=name))
+
+        # Substeps (components this one steps internally, e.g. local
+        # ports inside the flat mesh core) sleep when the parent
+        # sleeps, so each of *their* consumed FIFOs must wake the
+        # parent.
+        for sub in model.substeps(component):
+            sub_name = f"{name}/{_name_of(sub)}"
+            for fifo in model.consumed_fifos(sub):
+                if scheduled:
+                    hooked = _wired_to(fifo, component)
+                else:
+                    hooked = id(fifo) in declared_ids
+                if not hooked:
+                    findings.append(Finding(
+                        "BHV301",
+                        f"substep consumes FIFO {fifo.name!r} but the "
+                        "push hook never wakes the stepping parent: a "
+                        "message arriving while the parent sleeps is "
+                        "lost until something else wakes it",
+                        location=sub_name,
+                        hint="return the FIFO from the parent's "
+                             "wake_sources() so the kernel wires the "
+                             "wake hook",
+                        data={"fifo": fifo.name}))
     return findings

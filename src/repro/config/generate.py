@@ -16,7 +16,7 @@ from collections.abc import Callable
 from repro.config.schema import DesignSpec, TileSpec
 from repro.config.validate import validate
 from repro.analysis.deadlock import assert_deadlock_free
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address
 from repro.sim.kernel import CycleSimulator
@@ -36,7 +36,7 @@ class BuildContext:
     """Shared state threaded through tile factories (e.g. the NAT
     table shared by a NAT RX/TX pair)."""
 
-    def __init__(self, mesh: Mesh):
+    def __init__(self, mesh):
         self.mesh = mesh
         self.shared_tables: dict[str, NatTable] = {}
 
@@ -151,11 +151,14 @@ def register_tile_type(type_name: str, factory: Callable) -> None:
 class GeneratedDesign:
     """A design built from a :class:`DesignSpec`."""
 
-    def __init__(self, spec: DesignSpec, kernel: str = "scheduled"):
+    def __init__(self, spec: DesignSpec, kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         self.spec = spec
         self.report = validate(spec)
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(spec.width, spec.height)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(spec.width, spec.height,
+                               backend=mesh_backend)
         context = BuildContext(self.mesh)
         self.tiles: dict[str, object] = {}
         for tile_spec in spec.tiles:

@@ -83,8 +83,10 @@ class ManagedNatEchoDesign(NatEchoDesign):
         }
 
         # The base design already ran mesh.register(), so the
-        # controller's freshly-attached local port must be added too.
-        self.sim.add(self.controller.port)
+        # controller's freshly-attached local port must be added too —
+        # unless the mesh backend steps its ports itself.
+        if not self.mesh.steps_ports:
+            self.sim.add(self.controller.port)
         self.sim.add(self.controller)
         self.control.register(self.sim)
 

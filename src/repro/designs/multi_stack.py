@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
 from repro.analysis.deadlock import assert_deadlock_free
+from repro.noc.flatmesh import build_mesh
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
@@ -71,11 +72,13 @@ class MultiStackDesign:
 
     def __init__(self, stacks: int = 2, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = None,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         if stacks < 1:
             raise ValueError("need at least one stack")
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(5, 2 * stacks)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(5, 2 * stacks, backend=mesh_backend)
         self.lb = FlowHashLoadBalancerTile("lb", self.mesh, (0, 0))
         self.stacks = [
             _Stack(index, self.mesh, udp_port,

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro import params
 from repro.apps.reed_solomon.tile import RsEncoderTile
 from repro.analysis.deadlock import assert_deadlock_free
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
@@ -37,13 +37,15 @@ class RsDesign:
     def __init__(self, instances: int = 4, udp_port: int = 7000,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  rs_gbps: float = params.RS_TILE_GBPS,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         if not 1 <= instances <= 4:
             raise ValueError("this layout hosts 1-4 RS instances")
         self.instances = instances
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(6, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(6, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
                                      my_mac=SERVER_MAC)

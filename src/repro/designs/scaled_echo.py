@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
 from repro.analysis.deadlock import assert_deadlock_free
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
@@ -27,7 +27,14 @@ SERVER_IP = IPv4Address("10.0.0.10")
 
 
 class ScaledEchoDesign:
-    """A UDP stack with ``n_apps`` (1-22) echo tiles on a 7x4 mesh."""
+    """A UDP stack with replicated echo tiles, 7x4 / 22 apps default.
+
+    ``width``/``height`` generalise the paper's 7x4 U200 floorplan so
+    the flat mesh backend can be swept to sizes (16x16 and beyond) the
+    object backend cannot reach in CI time.  The layout rule is
+    unchanged: the six stack tiles occupy columns 0-2 of rows 0-1, and
+    every remaining coordinate may host an application replica.
+    """
 
     WIDTH = 7
     HEIGHT = 4
@@ -35,15 +42,25 @@ class ScaledEchoDesign:
 
     def __init__(self, n_apps: int = 22, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = None,
-                 kernel: str = "scheduled"):
-        if not 1 <= n_apps <= self.MAX_APPS:
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat",
+                 width: int | None = None,
+                 height: int | None = None):
+        self.width = self.WIDTH if width is None else width
+        self.height = self.HEIGHT if height is None else height
+        if self.width < 3 or self.height < 2:
+            raise ValueError("the stack needs at least a 3x2 mesh")
+        max_apps = self.width * self.height - 6
+        if not 1 <= n_apps <= max_apps:
             raise ValueError(
-                f"this layout hosts 1-{self.MAX_APPS} app tiles"
+                f"this layout hosts 1-{max_apps} app tiles"
             )
         self.n_apps = n_apps
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(self.WIDTH, self.HEIGHT)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(self.width, self.height,
+                               backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
                                      my_mac=SERVER_MAC)
@@ -59,8 +76,8 @@ class ScaledEchoDesign:
 
         app_coords = [
             (x, y)
-            for y in range(self.HEIGHT)
-            for x in range(self.WIDTH)
+            for y in range(self.height)
+            for x in range(self.width)
             if x > 2 or y > 1  # everything right of / below the stack
         ]
         self.apps = [

@@ -15,7 +15,7 @@ the NoC.
 from __future__ import annotations
 
 from repro import params
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_TCP, IPv4Address
 from repro.analysis.deadlock import assert_deadlock_free
@@ -45,10 +45,12 @@ class TcpServerDesign:
                  mss: int = params.TCP_MSS_BYTES,
                  congestion_control: bool = False,
                  kernel: str = "scheduled",
+                 mesh_backend: str = "flat",
                  **app_kwargs):
         self.tcp_port = tcp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(6, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(6, 2, backend=mesh_backend)
         self.flows = FlowTable(max_flows=max_flows)
 
         self.rx_buf = BufferTile(

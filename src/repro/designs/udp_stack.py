@@ -15,7 +15,7 @@ run on.
 from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.analysis.deadlock import assert_deadlock_free
@@ -34,10 +34,12 @@ class UdpEchoDesign:
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  app_tile_cls=UdpEchoAppTile,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(4, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(4, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
                                      my_mac=SERVER_MAC)
@@ -113,13 +115,15 @@ class LoggedUdpEchoDesign(UdpEchoDesign):
 
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         # Build from scratch (different geometry than the base class).
         from repro.tiles.logger import PacketLogTile
 
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(5, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(5, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
                                      my_mac=SERVER_MAC)

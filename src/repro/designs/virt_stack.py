@@ -20,7 +20,7 @@ paper's fix for repeated headers breaking resource ordering:
 from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_IPIP, IPPROTO_UDP, IPv4Address
 from repro.analysis.deadlock import assert_deadlock_free
@@ -41,10 +41,12 @@ class NatEchoDesign:
 
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(5, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(5, 2, backend=mesh_backend)
         self.nat_table = NatTable()
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
@@ -112,10 +114,12 @@ class IpInIpEchoDesign:
 
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(6, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(6, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
                                      my_mac=SERVER_MAC)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.apps.vr.tile import VrWitnessTile
 from repro.analysis.deadlock import assert_deadlock_free
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
@@ -44,14 +44,16 @@ class VrWitnessDesign:
     def __init__(self, shards: int = 4,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  duplicate_udp: bool = False,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         if not 1 <= shards <= 4:
             raise ValueError("this layout hosts 1-4 witness shards")
         self.shards = shards
         self.duplicate_udp = duplicate_udp
-        self.sim = CycleSimulator(kernel=kernel)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
         width = 7 if duplicate_udp else 6
-        self.mesh = Mesh(width, 2)
+        self.mesh = build_mesh(width, 2, backend=mesh_backend)
         witness_coords = ([(4, 0), (5, 0), (6, 0), (4, 1)]
                           if duplicate_udp else _WITNESS_COORDS)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
 from repro.analysis.deadlock import assert_deadlock_free
-from repro.noc.mesh import Mesh
+from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.packet.vxlan import VXLAN_UDP_PORT
@@ -41,11 +41,13 @@ class VxlanEchoDesign:
 
     def __init__(self, vni: int = 7700, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
-                 kernel: str = "scheduled"):
+                 kernel: str = "scheduled",
+                 mesh_backend: str = "flat"):
         self.vni = vni
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel)
-        self.mesh = Mesh(8, 2)
+        self.sim = CycleSimulator(kernel=kernel,
+                                  mesh_backend=mesh_backend)
+        self.mesh = build_mesh(8, 2, backend=mesh_backend)
 
         # Outer (underlay) stack.
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),

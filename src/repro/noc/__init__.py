@@ -12,12 +12,15 @@ from repro.noc.message import MessageAssembler, NocMessage
 from repro.noc.routing import Port, xy_route, xy_route_path
 from repro.noc.router import Router
 from repro.noc.mesh import LocalPort, Mesh
+from repro.noc.flatmesh import FlatMesh, build_mesh
 
 __all__ = [
+    "FlatMesh",
     "Flit",
     "FlitKind",
     "LocalPort",
     "Mesh",
+    "build_mesh",
     "MessageAssembler",
     "NocMessage",
     "Port",

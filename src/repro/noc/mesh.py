@@ -127,6 +127,11 @@ class LocalPort(Wakeable):
 class Mesh:
     """A width x height 2D mesh of wormhole routers."""
 
+    #: Ports are standalone simulator components here — one attached
+    #: after ``register`` must be added to the simulator by the
+    #: caller.  The flat backend overrides this.
+    steps_ports = False
+
     def __init__(self, width: int, height: int,
                  fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
                  routing: str = "xy"):

@@ -209,13 +209,27 @@ class CycleSimulator:
     recording tracer into a whole design.
     """
 
-    def __init__(self, tracer=None, kernel: str = "scheduled"):
+    def __init__(self, tracer=None, kernel: str = "scheduled",
+                 mesh_backend: str = "object",
+                 saturation_threshold: float | None = None,
+                 prune_interval: int | None = None):
         from repro.telemetry.trace import NULL_TRACER
         if kernel not in ("scheduled", "naive"):
             raise ValueError(f"unknown kernel {kernel!r} "
                              "(choose 'scheduled' or 'naive')")
+        if mesh_backend not in ("object", "flat"):
+            raise ValueError(f"unknown mesh backend {mesh_backend!r} "
+                             "(choose 'object' or 'flat')")
+        if saturation_threshold is not None and saturation_threshold < 0:
+            raise ValueError("saturation_threshold must be >= 0 "
+                             "(fractions > 1 disable the bypass)")
+        if prune_interval is not None and prune_interval < 1:
+            raise ValueError("prune_interval must be >= 1 cycle")
         self.cycle = 0
         self.kernel = kernel
+        # Advisory: design constructors thread their mesh backend
+        # through here (mirroring kernel=) so harnesses can consult it.
+        self.mesh_backend = mesh_backend
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._components: list[ClockedComponent] = []
         self._fifos: list[StagedFifo] = []
@@ -235,9 +249,38 @@ class CycleSimulator:
         # (under saturation the set is stable for long stretches).
         self._stepping_cache: list = []
         self._active_dirty = True
+        # Saturation bypass tuning.  The bypass engages on the *raw*
+        # active fraction (schedule entries, not weights): a
+        # batch-stepped component like the flat mesh core is one cheap
+        # entry however many routers it absorbs.  ``kernel_weight``
+        # (the component count such a core replaces) instead feeds the
+        # effective design size that derives the prune interval.
+        self._saturation_threshold = (
+            0.25 if saturation_threshold is None else saturation_threshold
+        )
+        self._prune_interval_cfg = prune_interval
+        self._total_weight = 0          # effective component count
+        self._sat_limit = 0.0           # threshold * len(components)
+        self._prune_interval = prune_interval or 32
         # Stats (scheduled kernel only; stay 0 under naive).
         self.idle_cycles_skipped = 0
         self.component_steps = 0
+
+    @property
+    def saturation_threshold(self) -> float:
+        """Active-weight fraction above which the bypass engages."""
+        return self._saturation_threshold
+
+    @property
+    def prune_interval(self) -> int:
+        """Cycles between pruning ticks while the bypass is engaged.
+
+        Defaults to the smallest power of two covering the registered
+        component weight (clamped to [32, 1024]): small designs keep
+        the original 32-cycle cadence, while very large meshes amortise
+        the full idle sweep over proportionally more cycles.
+        """
+        return self._prune_interval
 
     # -- registration -------------------------------------------------------
 
@@ -246,6 +289,12 @@ class CycleSimulator:
         if not self._scheduled:
             return
         self._order[component] = len(self._components) - 1
+        self._total_weight += int(getattr(component, "kernel_weight", 1))
+        self._sat_limit = (self._saturation_threshold
+                           * len(self._components))
+        if self._prune_interval_cfg is None:
+            self._prune_interval = 1 << max(
+                5, min(10, self._total_weight.bit_length()))
         self._active.add(component)
         self._contracts[component] = (
             getattr(component, "is_idle", None),
@@ -332,8 +381,9 @@ class CycleSimulator:
         is_idle, next_event = self._contracts[component]
         if is_idle is None or not is_idle():
             return
-        self._active.discard(component)
-        self._active_dirty = True
+        if component in self._active:
+            self._active.discard(component)
+            self._active_dirty = True
         if next_event is None:
             return
         deadline = next_event()
@@ -390,17 +440,21 @@ class CycleSimulator:
         timers = self._timers
         if timers and timers[0][0] <= cycle:
             self._service_timers(cycle)
-        # Saturation bypass: when a sizeable fraction of components is
-        # active, pruning bookkeeping (idle checks, timer arms, set
-        # churn) costs more than the no-op steps it saves.  Stepping a
-        # sleeping component is always safe — its step is a no-op by
-        # contract — so step the full registration list naive-style,
-        # keeping a periodic pruning tick (every 32 cycles) so the
-        # active set drains when load drops.
-        n_components = len(self._components)
-        if (n_components >= 16
-                and len(self._active) * 4 > n_components
-                and cycle & 31):
+        # Saturation bypass: when a sizeable fraction of the schedule
+        # entries is active, pruning bookkeeping (idle checks, timer
+        # arms, set churn) costs more than the no-op steps it saves.
+        # Stepping a sleeping component is always safe — its step is a
+        # no-op by contract — so step the full registration list
+        # naive-style, keeping a periodic pruning tick (every
+        # ``prune_interval`` cycles) so the active set drains when load
+        # drops.  The bypass *engages* on raw entry counts — a
+        # batch-stepping core skips its own idle internals, so it stays
+        # one cheap entry however many components it absorbs — but the
+        # design-size gate uses effective weight, so a design that is
+        # large only through such a core still qualifies.
+        if (self._total_weight >= 16
+                and len(self._active) > self._sat_limit
+                and cycle % self._prune_interval):
             if self.tracer.enabled:
                 self.tracer.cycle_start(cycle)
             components = self._components

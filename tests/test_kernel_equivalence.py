@@ -1,9 +1,12 @@
 """Differential tests: the scheduled kernel must be cycle-exact.
 
-Every shipped design is driven with identical traffic under
-``kernel="naive"`` (the exhaustive reference scheduler) and
-``kernel="scheduled"`` (activity scheduling with idle-skip), and the
-complete observable state is compared:
+Every shipped design is driven with identical traffic under every
+(kernel, mesh backend) combination — ``kernel="naive"`` (the
+exhaustive reference scheduler) vs ``kernel="scheduled"`` (activity
+scheduling with idle-skip), crossed with ``mesh_backend="object"``
+(per-router/per-port components) vs ``mesh_backend="flat"`` (the
+array-of-struct batch core) — and the complete observable state is
+compared:
 
 - per-tile counters (messages/bytes in and out, drops with reasons)
   and per-router flit counts;
@@ -11,9 +14,10 @@ complete observable state is compared:
 - the full trace event streams (tile spans, injection spans, drops,
   per-link flit and stall events, buffer levels, trace horizon).
 
-Any scheduling bug — a missed wake, a late timer, a reordered step —
-shows up as a diff here, which is the correctness bar the refactor is
-held to (an optimisation that changes results is a different
+Any scheduling or batching bug — a missed wake, a late timer, a
+reordered step, a flit moved through the wrong arbitration order —
+shows up as a diff here, which is the correctness bar both refactors
+are held to (an optimisation that changes results is a different
 simulator, not a faster one).
 """
 
@@ -46,7 +50,13 @@ from repro.telemetry.trace import Tracer, attach_tracer
 
 CLIENT_IP = IPv4Address("10.0.0.1")
 CLIENT_MAC = MacAddress("02:00:00:00:00:01")
-KERNELS = ("naive", "scheduled")
+# (kernel, mesh_backend) — the first combo is the reference.
+COMBOS = (
+    ("naive", "object"),
+    ("scheduled", "object"),
+    ("naive", "flat"),
+    ("scheduled", "flat"),
+)
 
 
 def fingerprint(design, sink, tracer):
@@ -73,23 +83,28 @@ def fingerprint(design, sink, tracer):
 
 
 def run_both(scenario):
-    """Run ``scenario(kernel)`` under both kernels, resetting the
-    global id counters so packet/message ids (and the spans keyed by
-    them) compare equal."""
+    """Run ``scenario(kernel, backend)`` under every combo, resetting
+    the global id counters so packet/message ids (and the spans keyed
+    by them) compare equal."""
     results = {}
-    for kernel in KERNELS:
+    for combo in COMBOS:
         reset_id_counters()
-        results[kernel] = scenario(kernel)
-    return results["naive"], results["scheduled"]
+        results[combo] = scenario(*combo)
+    return results
 
 
 def assert_equivalent(scenario):
-    naive, scheduled = run_both(scenario)
-    assert set(naive) == set(scheduled)
-    for key in naive:
-        assert naive[key] == scheduled[key], (
-            f"kernel divergence in {key!r}"
-        )
+    results = run_both(scenario)
+    reference = results[COMBOS[0]]
+    for combo, candidate in results.items():
+        if combo == COMBOS[0]:
+            continue
+        assert set(reference) == set(candidate)
+        for key in reference:
+            assert reference[key] == candidate[key], (
+                f"divergence in {key!r} under "
+                f"kernel={combo[0]!r} mesh_backend={combo[1]!r}"
+            )
 
 
 def echo_frame(design, payload, sport=5555, port=7):
@@ -103,10 +118,11 @@ class TestUdpEchoEquivalence:
         """10% line rate: mostly idle cycles — the idle-skip sweet
         spot, and exactly where a wrong wake would surface."""
 
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
-                                   kernel=kernel)
+                                   kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             frame = echo_frame(design, b"x" * 64)
@@ -125,10 +141,11 @@ class TestUdpEchoEquivalence:
         """Saturation: no idle cycles, contention and backpressure
         everywhere — checks the active-set path under load."""
 
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=None,
-                                   kernel=kernel)
+                                   kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             frame = echo_frame(design, b"y" * 256)
@@ -147,10 +164,11 @@ class TestUdpEchoEquivalence:
         """Bursts separated by thousand-cycle gaps: each gap is an
         idle-skip; each burst must land on the exact cycle."""
 
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
-                                   kernel=kernel)
+                                   kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -171,10 +189,11 @@ class TestUdpEchoEquivalence:
     def test_mixed_drops_and_misses(self):
         """Frames for the wrong port/MAC exercise the drop paths."""
 
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
-                                   kernel=kernel)
+                                   kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -192,10 +211,11 @@ class TestUdpEchoEquivalence:
 
 class TestLoggedEchoEquivalence:
     def test_logged_echo(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = LoggedUdpEchoDesign(udp_port=7,
                                          line_rate_bytes_per_cycle=50.0,
-                                         kernel=kernel)
+                                         kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -215,9 +235,10 @@ class TestTcpEquivalence:
         """A full TCP session: handshake, request/response transfer,
         retransmission timers — the richest timer workload we have."""
 
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = TcpServerDesign(tcp_port=5000, request_size=16,
-                                     kernel=kernel)
+                                     kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             peer = SoftTcpPeer(design, CLIENT_IP, CLIENT_MAC,
@@ -244,10 +265,11 @@ class TestVxlanEquivalence:
     INNER_MAC = MacAddress("02:aa:00:00:00:01")
 
     def test_overlay_echo(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = VxlanEchoDesign(vni=7700, udp_port=7,
                                      line_rate_bytes_per_cycle=50.0,
-                                     kernel=kernel)
+                                     kernel=kernel,
+                                   mesh_backend=backend)
             design.add_overlay_peer(self.INNER_IP, self.INNER_MAC,
                                     self.REMOTE_VTEP_IP,
                                     self.REMOTE_VTEP_MAC)
@@ -275,9 +297,10 @@ class TestVxlanEquivalence:
 
 class TestMultiStackEquivalence:
     def test_two_stacks_flow_spread(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = MultiStackDesign(stacks=2, udp_port=7,
-                                      kernel=kernel)
+                                      kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sinks = [FrameSink(stack.eth_tx)
@@ -301,10 +324,11 @@ class TestMultiStackEquivalence:
 
 class TestRsEquivalence:
     def test_round_robin_encode(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = RsDesign(instances=4,
                               line_rate_bytes_per_cycle=50.0,
-                              kernel=kernel)
+                              kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -339,10 +363,11 @@ class TestVrEquivalence:
         )
 
     def test_witness_shards(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = VrWitnessDesign(shards=2,
                                      line_rate_bytes_per_cycle=50.0,
-                                     kernel=kernel)
+                                     kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(self.LEADER_IP, self.LEADER_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -362,9 +387,10 @@ class TestVrEquivalence:
 
 class TestScaledEchoEquivalence:
     def test_many_apps(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = ScaledEchoDesign(n_apps=8, udp_port=7,
-                                      kernel=kernel)
+                                      kernel=kernel,
+                                   mesh_backend=backend)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -386,10 +412,11 @@ class TestNatEquivalence:
     CLIENT_PHYS_IP = IPv4Address("10.0.0.1")
 
     def test_nat_echo(self):
-        def scenario(kernel):
+        def scenario(kernel, backend):
             design = NatEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
-                                   kernel=kernel)
+                                   kernel=kernel,
+                                   mesh_backend=backend)
             design.map_client(self.CLIENT_VIRT_IP,
                               self.CLIENT_PHYS_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
