@@ -1,0 +1,97 @@
+"""Fault-injection overhead: a null FaultPlan must be (nearly) free.
+
+The fault hooks sit on the hottest paths in the simulator — the frame
+inject boundary, every LocalPort ejection, every tile step — so each
+is a class-attribute default (``fault_stalled``, ``_fault_eject``,
+``_fault_frozen``) that costs one attribute load when no plan targets
+the component, and ``attach_faults(design, None)`` leaves the design
+completely unwrapped.  This benchmark runs the saturated MTU echo
+three ways and checks:
+
+- no plan reproduces the pre-PR goodput baseline within 2% (the
+  simulation is cycle-deterministic, so it actually reproduces it
+  exactly);
+- an explicitly attached *null* plan yields the identical goodput —
+  the fast path must not wrap the wire or schedule an engine;
+- an active wire plan's cost is reported alongside for scale.
+"""
+
+import time
+
+from repro.designs import (
+    FrameSink,
+    FrameSource,
+    GoodputMeter,
+    UdpEchoDesign,
+)
+from repro.faults import FaultPlan
+from repro.packet import IPv4Address, MacAddress, build_ipv4_udp_frame
+
+CLIENT_IP = IPv4Address("10.0.0.1")
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+
+CYCLES = 20_000
+
+# MTU (1472 B payload) saturation goodput measured at the seed commit
+# (pre-PR), same configuration as bench_fig7_udp_goodput at 1472 B.
+PRE_PR_GOODPUT_GBPS = 113.230769
+
+
+def goodput_mtu(plan) -> tuple[float, float, int]:
+    """(goodput Gbps, wall seconds, fault events) for one 20k-cycle run."""
+    design = UdpEchoDesign(line_rate_bytes_per_cycle=None,
+                           fault_plan=plan)
+    design.add_client(CLIENT_IP, CLIENT_MAC)
+    payload = bytes(range(256)) * 5 + bytes(192)  # 1472 B
+    frame = build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
+                                 CLIENT_IP, design.server_ip, 5555,
+                                 design.udp_port, payload)
+    source = FrameSource(design.inject, lambda i: frame, rate=None)
+    sink = FrameSink(design.eth_tx, keep_frames=False)
+    meter = GoodputMeter(sink, warmup_frames=20)
+    design.sim.add(source)
+    design.sim.add(sink)
+    started = time.perf_counter()
+    for _ in range(CYCLES):
+        design.sim.tick()
+        meter.maybe_start()
+    wall = time.perf_counter() - started
+    engine = design.fault_engine
+    events = sum(engine.counters.values()) if engine is not None else 0
+    return meter.goodput_gbps(), wall, events
+
+
+def run_overhead():
+    off_gbps, off_wall, _ = goodput_mtu(None)
+    null_gbps, null_wall, _ = goodput_mtu(FaultPlan(seed=1))
+    active = FaultPlan(seed=1).wire(drop=0.01, corrupt=0.01, delay=0.05)
+    act_gbps, act_wall, events = goodput_mtu(active)
+    return off_gbps, off_wall, null_gbps, null_wall, act_gbps, act_wall, events
+
+
+def bench_fault_overhead(benchmark, report):
+    (off_gbps, off_wall, null_gbps, null_wall,
+     act_gbps, act_wall, events) = benchmark.pedantic(
+        run_overhead, rounds=1, iterations=1)
+
+    report.table(
+        ["config", "goodput Gbps", "wall s", "cycles/s"],
+        [["no plan", off_gbps, off_wall, CYCLES / off_wall],
+         ["null plan attached", null_gbps, null_wall, CYCLES / null_wall],
+         ["active wire plan", act_gbps, act_wall, CYCLES / act_wall]],
+    )
+    report.row()
+    report.row(f"pre-PR baseline: {PRE_PR_GOODPUT_GBPS:.3f} Gbps; "
+               f"no-plan delta "
+               f"{100 * abs(off_gbps - PRE_PR_GOODPUT_GBPS) / PRE_PR_GOODPUT_GBPS:.2f}%")
+    report.row(f"active plan injected {events} faults, "
+               f"goodput {act_gbps:.3f} Gbps")
+
+    # The dormant hooks cost <2% of the pre-PR baseline goodput (the
+    # simulation is deterministic, so any drift means a fault hook
+    # changed cycle behaviour with no plan present).
+    assert abs(off_gbps - PRE_PR_GOODPUT_GBPS) / PRE_PR_GOODPUT_GBPS < 0.02
+    # A null plan takes the fast path: identical simulated goodput.
+    assert null_gbps == off_gbps
+    # The active plan must actually have injected something.
+    assert events > 0

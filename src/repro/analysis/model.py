@@ -65,10 +65,10 @@ class DesignModel:
         """Every statically-known destination coordinate of ``tile``.
 
         Sources, in order: an explicit ``lint_dest_coords()`` hook on
-        the tile, the :class:`~repro.tiles.base.NextHopTable` entry
-        sets (including every member of a round-robin / flow-hash
-        destination set), a scheduler's replica list, and a load
-        balancer's stack list.
+        the tile (the scheduler and load-balancer tiles provide one
+        covering their replica / stack destination lists), and the
+        :class:`~repro.tiles.base.NextHopTable` entry sets (including
+        every member of a round-robin / flow-hash destination set).
         """
         coords: list[Coord] = []
         hook = getattr(tile, "lint_dest_coords", None)
@@ -78,10 +78,6 @@ class DesignModel:
         if table is not None:
             for dests in getattr(table, "_entries", {}).values():
                 coords.extend(dests)
-        for attr in ("replicas", "stacks"):
-            extra = getattr(tile, attr, None)
-            if isinstance(extra, list):
-                coords.extend(extra)
         seen: set[Coord] = set()
         unique = []
         for coord in coords:

@@ -55,6 +55,15 @@ class ServerCore:
         self.busy_s += work_s
         self.sim.schedule_at(self._free_at, callback, *args)
 
+    def freeze_until(self, t: float) -> None:
+        """Fault injection: the core does no work before ``t``.
+
+        Everything already queued and everything submitted meanwhile
+        completes after the freeze lifts (FIFO order preserved) — the
+        process is stalled, not killed, so no state is lost.
+        """
+        self._free_at = max(self._free_at, t)
+
     def utilisation(self, elapsed_s: float) -> float:
         return min(1.0, self.busy_s / elapsed_s) if elapsed_s else 0.0
 
@@ -162,6 +171,7 @@ class _PendingOp:
     opnum: int
     op: KvOp
     client: "Client"
+    token: int | None = None
     acks: int = 0
     committed: bool = False
 
@@ -188,16 +198,24 @@ class Leader:
         self._pending: dict[int, _PendingOp] = {}
         self._next_execute = 1
         self.completed = 0
+        self.requests = 0
 
     @property
     def quorum(self) -> int:
         return len(self.witnesses)  # all witnesses must verify
 
-    def on_request(self, client: "Client", op: KvOp) -> None:
+    def on_request(self, client: "Client", op: KvOp,
+                   token: int | None = None) -> None:
+        # Counted at NIC arrival, before the core queue: a frozen
+        # leader still *receives* requests, which is exactly the signal
+        # the view-change monitor keys on (requests > completed with no
+        # progress).
+        self.requests += 1
+
         def ingress_done():
             self._opnum += 1
             pending = _PendingOp(opnum=self._opnum, op=op,
-                                 client=client)
+                                 client=client, token=token)
             self._pending[pending.opnum] = pending
             digest = str(hash((op.kind, op.key))).encode()[:8]
             for witness in self.witnesses:
@@ -237,37 +255,69 @@ class Leader:
             result = self.kv.execute(pending.op)
             self.completed += 1
             self.wire.send(("l", self.shard, "c"), 0.0,
-                           pending.client.on_reply, result)
+                           pending.client.on_reply, result,
+                           pending.token)
 
         self.core.submit(params.VR_LEADER_COMMIT_S, commit_done)
 
 
 class Client:
-    """A closed-loop client: one outstanding request at a time."""
+    """A closed-loop client: one outstanding request at a time.
+
+    With ``retry_s`` set, a request unanswered for that long is resent
+    to the shard's *current* leader (``leaders`` is read at transmit
+    time, so a fail-over redirects retries).  Replies carry the
+    request's token: a late answer from a deposed or thawed leader to
+    an already-retried request is recognised and dropped instead of
+    completing the wrong operation.
+    """
 
     def __init__(self, sim: EventSimulator, wire: _Wire,
                  rng: random.Random, workload: KvWorkload,
-                 leaders: list[Leader]):
+                 leaders: list[Leader], retry_s: float | None = None):
         self.sim = sim
         self.wire = wire
         self.rng = rng
         self.workload = workload
         self.leaders = leaders
+        self.retry_s = retry_s
         self.latencies: list[float] = []
+        self.retries = 0
         self._sent_at = 0.0
+        self._token = 0
+        self._outstanding: tuple[int, int, KvOp] | None = None
 
     def start(self) -> None:
         self._send_next()
 
     def _send_next(self) -> None:
         shard, op = self.workload.next_op()
-        leader = self.leaders[shard]
+        self._token += 1
         self._sent_at = self.sim.now
+        self._outstanding = (self._token, shard, op)
+        self._transmit(shard, op, self._token)
+
+    def _transmit(self, shard: int, op: KvOp, token: int) -> None:
+        leader = self.leaders[shard]
         self.wire.send(("c", id(self), shard),
                        _client_side_cost(self.rng),
-                       leader.on_request, self, op)
+                       leader.on_request, self, op, token)
+        if self.retry_s is not None:
+            self.sim.schedule(self.retry_s, self._maybe_retry, token)
 
-    def on_reply(self, result) -> None:
+    def _maybe_retry(self, token: int) -> None:
+        if self._outstanding is None or self._outstanding[0] != token:
+            return  # answered in the meantime
+        _, shard, op = self._outstanding
+        self.retries += 1
+        self._transmit(shard, op, token)
+
+    def on_reply(self, result, token: int | None = None) -> None:
+        if self._outstanding is None:
+            return  # duplicate reply (request was retried and answered)
+        if token is not None and token != self._outstanding[0]:
+            return  # stale reply to a superseded request
+        self._outstanding = None
         # Receive-side client cost lands on the latency too.
         done_at = self.sim.now + _client_side_cost(self.rng)
         self.sim.schedule_at(done_at, self._complete)
@@ -295,15 +345,41 @@ class VrResult:
 
 
 class VrExperiment:
-    """Builds and runs one (shards, witness kind, clients) point."""
+    """Builds and runs one (shards, witness kind, clients) point.
+
+    Fault tolerance knobs (both default off, preserving the exact
+    Fig 11 behaviour):
+
+    - ``view_change_timeout_s``: a monitor fires at this period; a
+      shard whose leader has received requests but completed none
+      since the last tick is failed over (:meth:`fail_over`) — the
+      replica is promoted with the leader's KV state and the witness's
+      op-number high-water mark, at ``view + 1``.
+    - ``client_retry_s``: clients resend unanswered requests (to the
+      shard's current leader) after this long.
+
+    ``schedule_freeze`` injects the faults themselves;
+    :func:`repro.faults.apply_vr_faults` maps a
+    :class:`~repro.faults.plan.FaultPlan` onto it.
+    """
 
     def __init__(self, shards: int, witness_kind: str, n_clients: int,
-                 seed: int = 0xBEE5):
+                 seed: int = 0xBEE5,
+                 view_change_timeout_s: float | None = None,
+                 client_retry_s: float | None = None):
         self.shards = shards
         self.witness_kind = witness_kind
         self.n_clients = n_clients
+        self.view_change_timeout_s = view_change_timeout_s
+        self.client_retry_s = client_retry_s
+        self.view_changes = 0
+        #: (time, shard, new view) per completed fail-over.
+        self.view_change_log: list[tuple[float, int, int]] = []
+        #: (time, role, shard, duration) per injected freeze.
+        self.fault_log: list[tuple[float, str, int, float]] = []
         self.sim = EventSimulator()
         streams = SeededStreams(seed)
+        self._streams = streams
         self.wire = _Wire(self.sim, streams.stream("wire"))
         self.witnesses = [
             Witness(self.sim, self.wire, streams.stream(f"wit{s}"), s,
@@ -324,9 +400,76 @@ class VrExperiment:
             Client(self.sim, self.wire,
                    streams.stream(f"client{i}"),
                    KvWorkload(workload_rng, shards=shards),
-                   self.leaders)
+                   self.leaders, retry_s=client_retry_s)
             for i in range(n_clients)
         ]
+        self._progress = [(-1, -1)] * shards  # (leader id, completed)
+        if view_change_timeout_s is not None:
+            self.sim.schedule(view_change_timeout_s, self._monitor_tick)
+
+    # -- fault injection and recovery ---------------------------------------
+
+    def schedule_freeze(self, role: str, shard: int, at_s: float,
+                        duration_s: float) -> None:
+        """Freeze a node's core for ``[at_s, at_s + duration_s)``.
+
+        ``role`` is ``leader``/``witness``/``replica``; the node is
+        resolved at fire time, so freezing "the leader" after a
+        fail-over targets the current one.  Freezing an FPGA witness
+        is a no-op (no core — the pipeline has no scheduler to lose).
+        """
+        if role not in ("leader", "witness", "replica"):
+            raise ValueError(f"unknown VR role {role!r}")
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"no shard {shard} (have {self.shards})")
+
+        def apply() -> None:
+            node = {"leader": self.leaders,
+                    "witness": self.witnesses,
+                    "replica": self.replicas}[role][shard]
+            if node.core is None:
+                return
+            node.core.freeze_until(self.sim.now + duration_s)
+            self.fault_log.append((self.sim.now, role, shard,
+                                   duration_s))
+
+        self.sim.schedule_at(at_s, apply)
+
+    def fail_over(self, shard: int) -> Leader:
+        """Promote the shard's replica state into a view+1 leader.
+
+        The new leader adopts the replica's executed KV state and
+        continues the op-number sequence from the witness's high-water
+        mark, so its first prepare is in-order at the witness; the
+        witness adopts the higher view on sight, after which the old
+        leader's late prepares are STALE_VIEWed.  ``self.leaders`` is
+        mutated in place — clients resolve leaders per transmit.
+        """
+        old = self.leaders[shard]
+        witness = self.witnesses[shard]
+        replica = self.replicas[shard]
+        new = Leader(self.sim, self.wire,
+                     self._streams.stream(f"lead{shard}v{old.view + 1}"),
+                     shard, [witness], [replica])
+        new.view = old.view + 1
+        new.kv._data.update(replica.kv.snapshot())
+        new._opnum = witness.state.last_opnum
+        new._next_execute = witness.state.last_opnum + 1
+        self.leaders[shard] = new
+        self.view_changes += 1
+        self.view_change_log.append((self.sim.now, shard, new.view))
+        return new
+
+    def _monitor_tick(self) -> None:
+        for shard, leader in enumerate(self.leaders):
+            progress = (id(leader), leader.completed)
+            stalled = (progress == self._progress[shard]
+                       and leader.requests > leader.completed)
+            self._progress[shard] = progress
+            if stalled:
+                self.fail_over(shard)
+        self.sim.schedule(self.view_change_timeout_s,
+                          self._monitor_tick)
 
     def run(self, duration_s: float = 0.5,
             warmup_s: float = 0.05) -> VrResult:

@@ -94,6 +94,7 @@ class FrameSink(Wakeable):
         self.count = 0
         self.frame_bytes = 0
         self.payload_bytes = 0
+        self.malformed = 0
         self.first_cycle: int | None = None
         self.last_cycle: int | None = None
         listeners = getattr(eth_tx, "frame_listeners", None)
@@ -112,7 +113,9 @@ class FrameSink(Wakeable):
                 parsed = parse_frame(frame)
                 self.payload_bytes += len(parsed.payload)
             except ValueError:
-                pass
+                # Garbage egress — the chaos invariant a healthy design
+                # must never produce, however hostile the ingress.
+                self.malformed += 1
             if self.first_cycle is None:
                 self.first_cycle = emit_cycle
             self.last_cycle = emit_cycle

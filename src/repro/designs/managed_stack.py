@@ -14,6 +14,7 @@ from repro.control.controller import InternalControllerTile
 from repro.control.plane import ControlPlane
 from repro.analysis.deadlock import assert_deadlock_free
 from repro.designs.virt_stack import NatEchoDesign
+from repro.faults import attach_faults
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address
 
@@ -23,8 +24,10 @@ class ManagedNatEchoDesign(NatEchoDesign):
 
     CONTROL_PORT = 9000
 
-    def __init__(self, udp_port: int = 7, **kwargs):
-        super().__init__(udp_port=udp_port, **kwargs)
+    def __init__(self, udp_port: int = 7, fault_plan=None, **kwargs):
+        # Attach faults only once the controller tile exists, so plans
+        # may target it; the base class must not attach first.
+        super().__init__(udp_port=udp_port, fault_plan=None, **kwargs)
         self.control = ControlPlane(5, 2)
 
         controller_ep = self.control.attach((4, 1), "controller")
@@ -94,3 +97,4 @@ class ManagedNatEchoDesign(NatEchoDesign):
                             "controller", "udp_tx", "nat_tx", "ip_tx",
                             "eth_tx"])
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
 from repro.analysis.deadlock import assert_deadlock_free
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.noc.mesh import Mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
@@ -73,7 +74,8 @@ class MultiStackDesign:
     def __init__(self, stacks: int = 2, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = None,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         if stacks < 1:
             raise ValueError("need at least one stack")
         self.sim = CycleSimulator(kernel=kernel,
@@ -96,6 +98,7 @@ class MultiStackDesign:
         self.sim.add_all(self.tiles)
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     def add_client(self, ip: IPv4Address, mac: MacAddress) -> None:
         for stack in self.stacks:

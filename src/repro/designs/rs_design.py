@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro import params
 from repro.apps.reed_solomon.tile import RsEncoderTile
 from repro.analysis.deadlock import assert_deadlock_free
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
@@ -38,7 +39,8 @@ class RsDesign:
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  rs_gbps: float = params.RS_TILE_GBPS,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         if not 1 <= instances <= 4:
             raise ValueError("this layout hosts 1-4 RS instances")
         self.instances = instances
@@ -90,6 +92,7 @@ class RsDesign:
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     def add_client(self, ip: IPv4Address, mac: MacAddress) -> None:
         self.eth_tx.add_neighbor(ip, mac)

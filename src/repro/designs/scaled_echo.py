@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
 from repro.analysis.deadlock import assert_deadlock_free
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
@@ -45,7 +46,8 @@ class ScaledEchoDesign:
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
                  width: int | None = None,
-                 height: int | None = None):
+                 height: int | None = None,
+                 fault_plan=None):
         self.width = self.WIDTH if width is None else width
         self.height = self.HEIGHT if height is None else height
         if self.width < 3 or self.height < 2:
@@ -111,6 +113,7 @@ class ScaledEchoDesign:
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     @property
     def total_tiles(self) -> int:

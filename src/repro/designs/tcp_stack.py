@@ -15,6 +15,7 @@ the NoC.
 from __future__ import annotations
 
 from repro import params
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_TCP, IPv4Address
@@ -46,6 +47,7 @@ class TcpServerDesign:
                  congestion_control: bool = False,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 fault_plan=None,
                  **app_kwargs):
         self.tcp_port = tcp_port
         self.sim = CycleSimulator(kernel=kernel,
@@ -138,6 +140,7 @@ class TcpServerDesign:
                        ["app", "tx_buf"], ["tx_buf", "app"]]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     def add_client(self, ip: IPv4Address, mac: MacAddress) -> None:
         self.eth_tx.add_neighbor(ip, mac)

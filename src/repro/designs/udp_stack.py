@@ -15,6 +15,7 @@ run on.
 from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
@@ -35,7 +36,8 @@ class UdpEchoDesign:
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  app_tile_cls=UdpEchoAppTile,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
                                   mesh_backend=mesh_backend)
@@ -74,6 +76,7 @@ class UdpEchoDesign:
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     # -- host-facing conveniences -------------------------------------------
 
@@ -116,7 +119,8 @@ class LoggedUdpEchoDesign(UdpEchoDesign):
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         # Build from scratch (different geometry than the base class).
         from repro.tiles.logger import PacketLogTile
 
@@ -169,3 +173,4 @@ class LoggedUdpEchoDesign(UdpEchoDesign):
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)

@@ -20,6 +20,7 @@ paper's fix for repeated headers breaking resource ordering:
 from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_IPIP, IPPROTO_UDP, IPv4Address
@@ -42,7 +43,8 @@ class NatEchoDesign:
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
                                   mesh_backend=mesh_backend)
@@ -91,6 +93,7 @@ class NatEchoDesign:
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     def map_client(self, virtual_ip: IPv4Address,
                    physical_ip: IPv4Address, mac: MacAddress) -> None:
@@ -115,7 +118,8 @@ class IpInIpEchoDesign:
     def __init__(self, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
                                   mesh_backend=mesh_backend)
@@ -171,6 +175,7 @@ class IpInIpEchoDesign:
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     def add_tunnel_peer(self, virtual_ip: IPv4Address,
                         physical_ip: IPv4Address, mac: MacAddress) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.apps.echo import UdpEchoAppTile
 from repro.analysis.deadlock import assert_deadlock_free
+from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
@@ -42,7 +43,8 @@ class VxlanEchoDesign:
     def __init__(self, vni: int = 7700, udp_port: int = 7,
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 fault_plan=None):
         self.vni = vni
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
@@ -121,6 +123,7 @@ class VxlanEchoDesign:
         ]
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
+        attach_faults(self, fault_plan)
 
     def add_overlay_peer(self, inner_ip: IPv4Address,
                          inner_mac: MacAddress,

@@ -1,0 +1,27 @@
+"""Fault application for the event-level VR cluster.
+
+The cycle-level machinery in :mod:`repro.faults.engine` targets mesh
+designs; the VR evaluation's cluster (:mod:`repro.apps.vr.cluster`)
+runs in the *event* simulator in seconds.  This adapter maps a
+:class:`~repro.faults.plan.FaultPlan`'s ``vr_freeze`` entries onto
+:meth:`repro.apps.vr.cluster.VrExperiment.schedule_freeze`, so the
+same declarative plan object drives both simulation layers.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+
+
+def apply_vr_faults(experiment, plan: FaultPlan | None):
+    """Schedule a plan's VR node freezes onto ``experiment``.
+
+    Must be called before :meth:`VrExperiment.run` (events are
+    scheduled at absolute simulated times).  Returns the experiment.
+    """
+    experiment.fault_plan = plan
+    if plan is None:
+        return experiment
+    for role, shard, at_s, duration_s in plan.vr_events:
+        experiment.schedule_freeze(role, shard, at_s, duration_s)
+    return experiment

@@ -36,6 +36,12 @@ class LocalPort(Wakeable):
 
     tracer = NULL_TRACER
 
+    # Fault-injection hooks (repro.faults).  Class-level defaults keep
+    # the un-faulted hot path to one attribute test each; attaching a
+    # plan shadows them with instance state on the targeted ports only.
+    fault_stalled = False
+    _fault_eject = None
+
     def __init__(self, router: Router, eject_depth: int = 4):
         self.router = router
         self.coord = router.coord
@@ -113,11 +119,20 @@ class LocalPort(Wakeable):
 
         A tile that calls this once per cycle drains at one flit/cycle,
         matching the single router ejection port.
+
+        Fault injection taps here — the staging both mesh backends
+        share: a stalled port (``fault_stalled``) ejects nothing, so
+        the FIFO fills and back-pressures the fabric, and an ejection
+        fault filter may corrupt a popped DATA flit's payload.
         """
+        if self.fault_stalled:
+            return None
         flit = self.eject_fifo.peek()
         if flit is None:
             return None
         self.eject_fifo.pop()
+        if self._fault_eject is not None:
+            flit = self._fault_eject.filter(flit)
         message = self._assembler.push(flit)
         if message is not None:
             self.messages_received += 1

@@ -67,9 +67,20 @@ naive kernel would first let it observe the new state.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from collections.abc import Callable, Iterable
 from typing import Protocol, runtime_checkable
+
+
+class WallClockBudgetExceeded(TimeoutError):
+    """``run_until`` exceeded its ``wall_clock_budget_s``.
+
+    Distinct from the plain ``TimeoutError`` raised when ``max_cycles``
+    is exhausted: a cycle budget bounds *simulated* time, the wall
+    budget bounds *host* time — the guard chaos sweeps and CI use so a
+    wedged design fails instead of hanging the job.
+    """
 
 
 @runtime_checkable
@@ -524,12 +535,17 @@ class CycleSimulator:
         self,
         condition: Callable[[], bool],
         max_cycles: int = 1_000_000,
+        wall_clock_budget_s: float | None = None,
     ) -> int:
         """Tick until ``condition()`` is true; returns cycles consumed.
 
         Raises TimeoutError if the condition does not hold within
         ``max_cycles`` — the standard way tests detect a hung (e.g.
-        deadlocked) design.
+        deadlocked) design.  ``wall_clock_budget_s`` additionally
+        bounds *host* time: when set, the run raises
+        :class:`WallClockBudgetExceeded` once the budget elapses (the
+        check runs between ticks, so one pathological tick can overrun
+        the budget, but a wedged loop cannot hang the caller).
 
         Under the scheduled kernel, fully idle stretches are skipped
         and the condition re-evaluated at each wake boundary.  During
@@ -543,10 +559,17 @@ class CycleSimulator:
         """
         start = self.cycle
         limit = start + max_cycles
+        deadline = (None if wall_clock_budget_s is None
+                    else time.monotonic() + wall_clock_budget_s)
         while not condition():
             if self.cycle - start >= max_cycles:
                 raise TimeoutError(
                     f"condition not met within {max_cycles} cycles"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WallClockBudgetExceeded(
+                    f"condition not met within {wall_clock_budget_s}s "
+                    f"of wall clock ({self.cycle - start} cycles run)"
                 )
             if self._scheduled:
                 wake = self._next_wake_cycle()

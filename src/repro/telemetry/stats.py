@@ -52,12 +52,16 @@ def design_counters(design) -> dict:
         coord: router.flits_forwarded
         for coord, router in design.mesh.routers.items()
     }
-    return {
+    counters = {
         "cycle": design.sim.cycle,
         "tiles": tiles,
         "router_flits": routers,
         "total_flits": design.mesh.total_flits_forwarded,
     }
+    engine = getattr(design, "fault_engine", None)
+    if engine is not None:
+        counters["faults"] = dict(engine.counters)
+    return counters
 
 
 def _render_windows(metrics) -> list[str]:
@@ -130,6 +134,11 @@ def design_report(design, metrics=None) -> str:
     if reason_lines:
         lines.append("drop reasons:")
         lines.extend(reason_lines)
+    faults = counters.get("faults")
+    if faults:
+        lines.append("fault injections:")
+        for kind, count in sorted(faults.items()):
+            lines.append(f"  {kind}: {count}")
     if metrics is not None:
         lines.extend(_render_windows(metrics))
     return "\n".join(lines)

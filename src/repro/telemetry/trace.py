@@ -81,6 +81,10 @@ class NullTracer:
     def drop(self, cycle, tile, message, reason):
         pass
 
+    # -- fault injection (repro.faults) ----------------------------------
+    def fault(self, cycle, kind, target, detail=None):
+        pass
+
 
 #: Shared singleton default for every instrumented component.
 NULL_TRACER = NullTracer()
@@ -122,6 +126,16 @@ class DropEvent:
     reason: str
 
 
+@dataclass(slots=True)
+class FaultEvent:
+    """One injected fault, as published by a ``repro.faults`` engine."""
+
+    cycle: int
+    kind: str            # e.g. "wire.drop", "noc.stall", "tile.freeze"
+    target: str | None   # tile name, port coord, ... (engine-defined)
+    detail: str | None
+
+
 class Tracer(NullTracer):
     """Records every published event for post-run analysis.
 
@@ -139,6 +153,7 @@ class Tracer(NullTracer):
         self.link_flits: list[tuple[int, tuple, str]] = []
         self.link_stalls: list[tuple[int, tuple, str, str]] = []
         self.buffer_levels: list[tuple[int, str, int]] = []
+        self.faults: list[FaultEvent] = []
         self.last_cycle = 0
         self._rx_pending: dict[tuple, int] = {}
         self._svc_pending: dict[tuple, tuple] = {}
@@ -191,6 +206,11 @@ class Tracer(NullTracer):
         self.drops.append(DropEvent(
             cycle=cycle, tile=tile.name, coord=tile.coord,
             packet_id=getattr(message, "packet_id", None), reason=reason,
+        ))
+
+    def fault(self, cycle, kind, target, detail=None):
+        self.faults.append(FaultEvent(
+            cycle=cycle, kind=kind, target=target, detail=detail,
         ))
 
     # -- per-packet reconstruction ---------------------------------------
@@ -393,6 +413,7 @@ class MetricsWindow:
 
 _TILE_PID = 1
 _NOC_PID = 2
+_FAULT_PID = 3
 
 
 def chrome_trace_events(tracer: Tracer,
@@ -430,6 +451,19 @@ def chrome_trace_events(tracer: Tracer,
     events.append({"name": "process_name", "ph": "M", "ts": 0,
                    "pid": _NOC_PID, "tid": 0,
                    "args": {"name": "noc links"}})
+    if tracer.faults:
+        events.append({"name": "process_name", "ph": "M", "ts": 0,
+                       "pid": _FAULT_PID, "tid": 0,
+                       "args": {"name": "faults"}})
+        for fault in tracer.faults:
+            label = (fault.kind if fault.target is None
+                     else f"{fault.kind} @ {fault.target}")
+            events.append({
+                "name": label, "cat": "fault", "ph": "i",
+                "ts": fault.cycle, "pid": _FAULT_PID, "tid": 0,
+                "s": "p",
+                "args": {"target": fault.target, "detail": fault.detail},
+            })
 
     for span in tracer.spans:
         label = (f"pkt {span.packet_id}" if span.packet_id is not None

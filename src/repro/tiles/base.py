@@ -164,6 +164,12 @@ class Tile(Wakeable):
     # Tracing sink (shared no-op unless attach_tracer replaces it).
     tracer = NULL_TRACER
 
+    # Fault injection (repro.faults): True while a scheduled freeze or
+    # crash window holds the tile's clock.  Class-level default keeps
+    # the un-faulted step to one attribute test; the fault engine
+    # shadows it per instance.
+    _fault_frozen = False
+
     def __init__(
         self,
         name: str,
@@ -237,6 +243,8 @@ class Tile(Wakeable):
     # -- clocked behaviour ----------------------------------------------------
 
     def step(self, cycle: int) -> None:
+        if self._fault_frozen:
+            return  # clock gated by an injected freeze/crash window
         self.on_cycle(cycle)
         self._pump_eject(cycle)
         self._pump_process(cycle)
@@ -258,6 +266,11 @@ class Tile(Wakeable):
         never-idle (always stepped — naive-kernel behaviour) unless it
         supplies its own contract.
         """
+        if self._fault_frozen:
+            # Pinned active: a frozen tile's timers are stale, so it
+            # must not be descheduled against them; the fault engine
+            # additionally wakes it at thaw (kernel-wake-safe resume).
+            return False
         if type(self).on_cycle is not Tile.on_cycle:
             return False
         eject = self.port.eject_fifo
@@ -291,6 +304,10 @@ class Tile(Wakeable):
         mid-message); the buffer cap gates the *start* of the next
         message, which is where real backpressure bites.
         """
+        if self.port.fault_stalled:
+            # Checked before the peek: receive() would return None and
+            # the buffered-flit count must not advance for it.
+            return
         if self._buffered_flits >= self.buffer_flits and \
                 not self.port.mid_message:
             return

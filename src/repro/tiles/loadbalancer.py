@@ -40,6 +40,10 @@ class FlowHashLoadBalancerTile(Tile):
     def add_stack(self, ingress_coord: tuple[int, int]) -> None:
         self.stacks.append(ingress_coord)
 
+    def lint_dest_coords(self) -> list[tuple[int, int]]:
+        """Static-lint hook: frames may go to any registered stack."""
+        return list(self.stacks)
+
     def push_frame(self, frame: bytes, cycle: int) -> None:
         pseudo = NocMessage(dst=self.coord, src=self.coord, metadata=None,
                             data=frame, n_meta_flits=0,

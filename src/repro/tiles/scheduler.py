@@ -29,6 +29,10 @@ class RoundRobinSchedulerTile(Tile):
     def add_replica(self, coord: tuple[int, int]) -> None:
         self.replicas.append(coord)
 
+    def lint_dest_coords(self) -> list[tuple[int, int]]:
+        """Static-lint hook: requests may go to any registered replica."""
+        return list(self.replicas)
+
     def handle_message(self, message: NocMessage, cycle: int):
         if not self.replicas:
             return self.drop(message, "no replicas registered")

@@ -1,0 +1,68 @@
+"""Tests for ``python -m repro.tools.chaos`` (in-process)."""
+
+import pytest
+
+from repro.tools.chaos import (
+    main,
+    run_design_hostile,
+    run_tcp_server,
+    run_udp_echo,
+    run_vr_cluster,
+)
+
+
+class TestScenarios:
+    def test_udp_scenario_passes(self):
+        failures, detail = run_udp_echo(seed=101, budget_s=60.0,
+                                        loss=0.01)
+        assert failures == []
+        assert "echoed" in detail
+
+    def test_tcp_scenario_passes(self):
+        failures, detail = run_tcp_server(seed=101, budget_s=60.0,
+                                          loss=0.01)
+        assert failures == []
+        assert "1024B echoed" in detail
+
+    def test_vr_scenario_passes(self):
+        failures, detail = run_vr_cluster(seed=101, budget_s=60.0)
+        assert failures == []
+        assert "view changes" in detail
+
+    def test_hostile_design_passes(self):
+        failures, detail = run_design_hostile("udp_echo", seed=101,
+                                              budget_s=60.0)
+        assert failures == []
+        assert "hostile frames survived" in detail
+
+    def test_hostile_unknown_design_fails(self):
+        failures, _detail = run_design_hostile("no_such", seed=101,
+                                               budget_s=60.0)
+        assert failures and "unknown design" in failures[0]
+
+    def test_scenarios_are_seed_deterministic(self):
+        assert (run_udp_echo(7, 60.0, 0.05)
+                == run_udp_echo(7, 60.0, 0.05))
+
+
+class TestMain:
+    def test_single_target_exit_zero(self, capsys):
+        assert main(["udp", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos udp seed=101: PASS" in out
+
+    def test_failure_exits_nonzero(self, capsys):
+        assert main(["design:no_such", "--seeds", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "unknown design" in captured.err
+
+    def test_unknown_target_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["bogus-target", "--seeds", "1"])
+
+    def test_base_seed_and_seeds_sweep(self, capsys):
+        assert main(["design:udp_echo", "--seeds", "2",
+                     "--base-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=7" in out and "seed=8" in out

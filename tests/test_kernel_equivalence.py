@@ -436,6 +436,70 @@ class TestNatEquivalence:
         assert_equivalent(scenario)
 
 
+class TestFaultEquivalence:
+    """Active fault plans must not break cycle-exactness: the wire
+    impairments draw from seeded streams at the inject boundary and
+    the NoC faults act on the shared LocalPort staging, so every
+    (kernel, backend) combo observes the bit-identical fault stream."""
+
+    def _fault_fingerprint(self, design, sink, tracer):
+        fp = fingerprint(design, sink, tracer)
+        engine = design.fault_engine
+        fp["fault_counters"] = dict(engine.counters)
+        fp["fault_log"] = list(engine.log)
+        fp["fault_events"] = list(tracer.faults)
+        return fp
+
+    def test_wire_impairments(self):
+        from repro.faults import FaultPlan
+
+        def scenario(kernel, backend):
+            plan = FaultPlan(seed=0xD1CE).wire(
+                drop=0.2, corrupt=0.1, duplicate=0.15, reorder=0.2,
+                delay=0.3)
+            design = UdpEchoDesign(udp_port=7,
+                                   line_rate_bytes_per_cycle=50.0,
+                                   kernel=kernel, mesh_backend=backend,
+                                   fault_plan=plan)
+            design.add_client(CLIENT_IP, CLIENT_MAC)
+            tracer = attach_tracer(design, Tracer())
+            sink = FrameSink(design.eth_tx)
+            design.sim.add(sink)
+            for i in range(30):
+                design.inject(echo_frame(design, b"f%02d" % i * 10),
+                              1 + i * 150)
+            design.sim.run(10_000)
+            assert sink.malformed == 0
+            return self._fault_fingerprint(design, sink, tracer)
+
+        assert_equivalent(scenario)
+
+    def test_tile_and_noc_faults(self):
+        from repro.faults import FaultPlan
+
+        def scenario(kernel, backend):
+            plan = (FaultPlan(seed=0xD1CE)
+                    .freeze_tile("app", at=300, duration=800)
+                    .crash_tile("eth_rx", at=20, duration=100)
+                    .stall_link((3, 0), at=1500, duration=400)
+                    .corrupt_flits(0.3, coords=[(2, 0)]))
+            design = UdpEchoDesign(udp_port=7,
+                                   line_rate_bytes_per_cycle=50.0,
+                                   kernel=kernel, mesh_backend=backend,
+                                   fault_plan=plan)
+            design.add_client(CLIENT_IP, CLIENT_MAC)
+            tracer = attach_tracer(design, Tracer())
+            sink = FrameSink(design.eth_tx)
+            design.sim.add(sink)
+            for i in range(25):
+                design.inject(echo_frame(design, b"g%02d" % i * 8),
+                              1 + i * 120)
+            design.sim.run(10_000)
+            return self._fault_fingerprint(design, sink, tracer)
+
+        assert_equivalent(scenario)
+
+
 class TestIdleSkipActuallyHappens:
     """Equivalence is vacuous if the scheduled kernel never sleeps —
     pin that the idle-heavy scenarios really do skip cycles."""

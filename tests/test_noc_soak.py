@@ -1,5 +1,9 @@
-"""NoC soak tests: randomised traffic, conservation, and fairness."""
+"""NoC soak tests: randomised traffic, conservation, and fairness,
+plus a seeded fault-soak crossing kernels and mesh backends."""
 
+import random
+
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -103,3 +107,87 @@ class TestNocSoak:
         for start in range(0, 80 - 16, 8):
             window = set(tags[start:start + 16])
             assert window == {"a", "b"}
+
+
+class TestFaultSoak:
+    """Seeded chaos soak across every (kernel, mesh backend) combo.
+
+    The fault hooks live at shared boundaries — the inject wire and
+    the tile-side LocalPort — so an identical FaultPlan must produce
+    a bit-identical run (egress frames, tile counters, fault log)
+    whether the mesh is the object graph or the flat array core, and
+    whether the kernel sweeps every component or idle-skips.
+    """
+
+    COMBOS = (
+        ("naive", "object"),
+        ("scheduled", "object"),
+        ("naive", "flat"),
+        ("scheduled", "flat"),
+    )
+
+    @pytest.mark.parametrize("seed", [11, 29, 47])
+    def test_identical_faulty_runs_across_combos(self, seed):
+        from repro.designs import FrameSink, UdpEchoDesign
+        from repro.faults import FaultPlan
+        from repro.noc.message import reset_id_counters
+        from repro.packet import (
+            IPv4Address,
+            MacAddress,
+            build_ipv4_udp_frame,
+        )
+        from repro.telemetry import design_counters
+
+        client_ip = IPv4Address("10.0.0.1")
+        client_mac = MacAddress("02:00:00:00:00:01")
+
+        def plan():
+            return (FaultPlan(seed=seed)
+                    .wire(drop=0.15, corrupt=0.1, duplicate=0.1,
+                          reorder=0.15, delay=0.25)
+                    .freeze_tile("app", at=400, duration=600)
+                    .stall_link((3, 0), at=2000, duration=300)
+                    .corrupt_flits(0.1, coords=[(2, 0)]))
+
+        def traffic(design):
+            # Seeded, bursty, variable-size traffic — same for every
+            # combo because the rng is rebuilt from the seed.
+            rng = random.Random(seed)
+            cycle = 1
+            for _ in range(40):
+                payload = bytes(rng.randrange(256)
+                                for _ in range(rng.randrange(8, 600)))
+                frame = build_ipv4_udp_frame(
+                    client_mac, design.server_mac, client_ip,
+                    design.server_ip, 5555, 7, payload)
+                design.inject(frame, cycle)
+                cycle += rng.choice((1, 3, 40, 200))
+
+        def run(kernel, backend):
+            reset_id_counters()
+            design = UdpEchoDesign(udp_port=7, kernel=kernel,
+                                   mesh_backend=backend,
+                                   fault_plan=plan())
+            design.add_client(client_ip, client_mac)
+            sink = FrameSink(design.eth_tx)
+            design.sim.add(sink)
+            traffic(design)
+            design.sim.run(15_000)
+            assert sink.malformed == 0
+            counters = design_counters(design)
+            return {
+                "frames": list(sink.frames),
+                "tiles": counters["tiles"],
+                "total_flits": counters["total_flits"],
+                "faults": counters["faults"],
+                "fault_log": list(design.fault_engine.log),
+            }
+
+        reference = run(*self.COMBOS[0])
+        for combo in self.COMBOS[1:]:
+            candidate = run(*combo)
+            for key in reference:
+                assert reference[key] == candidate[key], (
+                    f"fault-soak divergence in {key!r} under "
+                    f"kernel={combo[0]!r} mesh_backend={combo[1]!r}"
+                )
