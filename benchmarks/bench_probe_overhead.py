@@ -1,0 +1,108 @@
+"""Telemetry probe overhead: the null path must be free, the attached
+path must be cheap and behaviour-preserving.
+
+``attach_probe(design, interval=None)`` attaches nothing — no
+component joins the simulator and no state is wrapped, the same
+contract as ``attach_faults(design, None)`` and the null tracer.  An
+*attached* probe is read-only and purely timer-driven, so the
+simulated run is bit-identical to the unprobed one; the only cost is
+host wall-clock for the sample walk every interval.  This benchmark
+runs the saturated MTU echo three ways and checks:
+
+- the no-probe run reproduces the pre-PR goodput baseline within 2%
+  (cycle-deterministic, so it reproduces it exactly);
+- ``attach_probe(..., None)`` yields identical goodput *and* frame
+  counts — the null fast path touches nothing;
+- a probe at the default interval leaves simulated goodput identical
+  (read-only sampling cannot perturb the design) and its wall-clock
+  cost stays under 10% of the unprobed run.
+"""
+
+import time
+
+from repro.designs import (
+    FrameSink,
+    FrameSource,
+    GoodputMeter,
+    UdpEchoDesign,
+)
+from repro.packet import IPv4Address, MacAddress, build_ipv4_udp_frame
+from repro.telemetry.probe import DEFAULT_INTERVAL, attach_probe
+
+CLIENT_IP = IPv4Address("10.0.0.1")
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+
+CYCLES = 20_000
+
+# MTU (1472 B payload) saturation goodput measured at the seed commit
+# (pre-PR), same configuration as bench_fig7_udp_goodput at 1472 B.
+PRE_PR_GOODPUT_GBPS = 113.230769
+
+
+def goodput_mtu(interval):
+    """(goodput Gbps, wall s, frames, samples) for one 20k-cycle run."""
+    design = UdpEchoDesign(line_rate_bytes_per_cycle=None)
+    probe = attach_probe(design, interval=interval)
+    design.add_client(CLIENT_IP, CLIENT_MAC)
+    payload = bytes(range(256)) * 5 + bytes(192)  # 1472 B
+    frame = build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
+                                 CLIENT_IP, design.server_ip, 5555,
+                                 design.udp_port, payload)
+    source = FrameSource(design.inject, lambda i: frame, rate=None)
+    sink = FrameSink(design.eth_tx, keep_frames=False)
+    meter = GoodputMeter(sink, warmup_frames=20)
+    design.sim.add(source)
+    design.sim.add(sink)
+    started = time.perf_counter()
+    for _ in range(CYCLES):
+        design.sim.tick()
+        meter.maybe_start()
+    wall = time.perf_counter() - started
+    samples = probe.samples_taken if probe is not None else 0
+    return meter.goodput_gbps(), wall, sink.count, samples
+
+
+def run_probe_overhead() -> dict:
+    off_gbps, off_wall, off_frames, _ = goodput_mtu(None)
+    on_gbps, on_wall, on_frames, samples = goodput_mtu(DEFAULT_INTERVAL)
+    return {
+        "off": {"goodput_gbps": off_gbps, "wall_s": off_wall,
+                "frames": off_frames},
+        "probed": {"goodput_gbps": on_gbps, "wall_s": on_wall,
+                   "frames": on_frames, "samples": samples},
+        "wall_overhead_pct": 100.0 * (on_wall - off_wall) / off_wall,
+    }
+
+
+def bench_probe_overhead(benchmark, report):
+    results = benchmark.pedantic(run_probe_overhead, rounds=1,
+                                 iterations=1)
+    off = results["off"]
+    probed = results["probed"]
+
+    report.table(
+        ["config", "goodput Gbps", "frames", "wall s", "cycles/s"],
+        [["no probe", off["goodput_gbps"], off["frames"],
+          off["wall_s"], CYCLES / off["wall_s"]],
+         [f"probe @{DEFAULT_INTERVAL}", probed["goodput_gbps"],
+          probed["frames"], probed["wall_s"],
+          CYCLES / probed["wall_s"]]],
+    )
+    report.row()
+    report.row(f"pre-PR baseline: {PRE_PR_GOODPUT_GBPS:.3f} Gbps; "
+               f"no-probe delta "
+               f"{100 * abs(off['goodput_gbps'] - PRE_PR_GOODPUT_GBPS) / PRE_PR_GOODPUT_GBPS:.2f}%")
+    report.row(f"probe took {probed['samples']} samples; wall overhead "
+               f"{results['wall_overhead_pct']:+.1f}%")
+
+    # The null path (interval=None) attaches nothing, so goodput must
+    # sit on the pre-PR pin — any drift means telemetry leaked into an
+    # unprobed design's cycle behaviour.
+    assert abs(off["goodput_gbps"] - PRE_PR_GOODPUT_GBPS) \
+        / PRE_PR_GOODPUT_GBPS < 0.02
+    # An attached probe is read-only: identical simulated behaviour.
+    assert probed["goodput_gbps"] == off["goodput_gbps"]
+    assert probed["frames"] == off["frames"]
+    # Ticks cover cycles 0..CYCLES-1, so the sample due exactly at
+    # CYCLES never fires.
+    assert probed["samples"] == (CYCLES - 1) // DEFAULT_INTERVAL

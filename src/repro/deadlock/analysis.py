@@ -1,38 +1,50 @@
-"""Compatibility shim — the analysis moved to :mod:`repro.analysis`.
+"""Deprecated shim — the analysis moved to :mod:`repro.analysis.deadlock`.
 
 The static resource-dependency analysis now lives in
 :mod:`repro.analysis.deadlock`, where it is one pass of the unified
-design linter (``python -m repro.tools.lint``).  This module re-exports
-the stable API so existing imports keep working; :func:`analyze_chains`
-is deprecated in favour of the canonical home (or, for whole designs,
-:func:`repro.analysis.analyze`).
+design linter (``python -m repro.tools.lint``); whole designs are
+checked with :func:`repro.analysis.analyze`.  Import from there.
+
+Every name this module ever exported still resolves — lazily, via
+module ``__getattr__`` — but each access emits a
+:class:`DeprecationWarning` naming the canonical home (the test suite
+asserts this, so the shim cannot silently rot into a second API
+surface).  :mod:`repro.deadlock` itself (the package) imports from the
+canonical module directly and stays warning-free.
 """
 
 from __future__ import annotations
 
 import warnings
 
-from repro.analysis.deadlock import (  # noqa: F401 - re-exports
-    DeadlockError,
-    analyze_design,
-    assert_deadlock_free,
-    build_dependency_graph,
-    chain_link_sequence,
-)
-from repro.analysis.deadlock import analyze_chains as _analyze_chains
-from repro.noc.routing import xy_route
-
 Coord = tuple
 Resource = tuple  # ((x, y), Port)
 
+#: Names this shim forwards to :mod:`repro.analysis.deadlock`.
+_FORWARDED = (
+    "DeadlockError",
+    "analyze_chains",
+    "analyze_design",
+    "assert_deadlock_free",
+    "build_dependency_graph",
+    "chain_link_sequence",
+)
 
-def analyze_chains(chains, coords, route_fn=xy_route):
-    """Deprecated alias for :func:`repro.analysis.analyze_chains`."""
-    warnings.warn(
-        "repro.deadlock.analyze_chains moved to repro.analysis; "
-        "use repro.analysis.analyze_chains (or repro.analysis.analyze "
-        "for whole-design linting)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _analyze_chains(chains, coords, route_fn)
+
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.deadlock.analysis.{name} moved to repro.analysis; "
+            f"use repro.analysis.deadlock.{name} (or "
+            "repro.analysis.analyze for whole-design linting)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.analysis import deadlock as _canonical
+        return getattr(_canonical, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted([*_FORWARDED, "Coord", "Resource"])

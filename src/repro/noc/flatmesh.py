@@ -82,6 +82,10 @@ class _RingView:
         core = self._core
         return core._counts[self._fid] + core._stageds[self._fid]
 
+    @property
+    def high_water(self) -> int:
+        return self._core._hw[self._fid]
+
     def peek(self):
         core = self._core
         if not core._counts[self._fid]:
@@ -252,6 +256,10 @@ class FlatMeshCore(Wakeable):
         # Statistics (the object backend's Router counters, flattened).
         self._fwd: list[int] = [0] * n
         self._fwd_out: list[int] = [0] * n5
+        # Ring high-water marks, mirroring StagedFifo.high_water: the
+        # deepest committed depth per directional input, updated in the
+        # commit dirty loop so only rings written this cycle pay.
+        self._hw: list[int] = [0] * n5
 
     # -- wiring -----------------------------------------------------------
 
@@ -592,11 +600,15 @@ class FlatMeshCore(Wakeable):
         dirty = self._dirty
         req = self._req
         if dirty:
+            hw = self._hw
             for fid in dirty:
                 if not counts[fid]:
                     req[fid] = -2  # first committed flit becomes head
-                counts[fid] += stageds[fid]
+                depth = counts[fid] + stageds[fid]
+                counts[fid] = depth
                 stageds[fid] = 0
+                if depth > hw[fid]:
+                    hw[fid] = depth
             dirty.clear()
         dirty_local = self._dirty_local
         if dirty_local:
@@ -606,6 +618,8 @@ class FlatMeshCore(Wakeable):
                     req[lfid] = -2
                 fifo._items.extend(fifo._staged)
                 fifo._staged.clear()
+                if len(fifo._items) > fifo.high_water:
+                    fifo.high_water = len(fifo._items)
                 busy |= rbit
             dirty_local.clear()
             self._busy_mask = busy
@@ -616,6 +630,8 @@ class FlatMeshCore(Wakeable):
             for eject in dirty_eject:
                 eject._items.extend(eject._staged)
                 eject._staged.clear()
+                if len(eject._items) > eject.high_water:
+                    eject.high_water = len(eject._items)
             dirty_eject.clear()
 
     # -- statistics -------------------------------------------------------
@@ -623,6 +639,13 @@ class FlatMeshCore(Wakeable):
     @property
     def total_flits_forwarded(self) -> int:
         return sum(self._fwd)
+
+    @property
+    def busy_routers(self) -> int:
+        """Population of the busy-router bitmask — how many routers
+        the next step will even look at (the probe's fabric-activity
+        gauge)."""
+        return self._busy_mask.bit_count()
 
 
 class FlatMesh:

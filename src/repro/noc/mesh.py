@@ -57,6 +57,10 @@ class LocalPort(Wakeable):
         self.messages_sent = 0
         self.messages_received = 0
         self.flits_injected = 0
+        #: Deepest the unbounded tile-side injection queue has ever
+        #: been (messages queued plus one mid-injection) — the telemetry
+        #: plane's back-pressure indicator for this attachment point.
+        self.tx_backlog_high_water = 0
 
     # -- transmit side ------------------------------------------------------
 
@@ -65,6 +69,9 @@ class LocalPort(Wakeable):
         if message.src != self.coord:
             message.src = self.coord
         self._send_queue.append(message)
+        backlog = len(self._send_queue) + (1 if self._pending_flits else 0)
+        if backlog > self.tx_backlog_high_water:
+            self.tx_backlog_high_water = backlog
         self._wake()
 
     @property

@@ -129,13 +129,19 @@ class StagedFifo:
     uses to let downstream components sleep while the queue is empty.
     """
 
-    __slots__ = ("capacity", "name", "_items", "_staged", "_wakers")
+    __slots__ = ("capacity", "name", "high_water", "_items", "_staged",
+                 "_wakers")
 
     def __init__(self, capacity: int | None = None, name: str = "fifo"):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.capacity = capacity
         self.name = name
+        #: Maximum end-of-cycle depth ever committed — the telemetry
+        #: plane's per-queue high-water mark.  Updated at commit (the
+        #: only point the occupancy is architecturally observable), so
+        #: it costs nothing on cycles without staged pushes.
+        self.high_water = 0
         self._items: deque = deque()
         self._staged: list = []
         self._wakers: list[Callable[[], None]] = []
@@ -188,6 +194,8 @@ class StagedFifo:
         if self._staged:
             self._items.extend(self._staged)
             self._staged.clear()
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
 
     def drain(self) -> list:
         """Pop and return *everything*: committed items, then staged.
@@ -292,6 +300,29 @@ class CycleSimulator:
         the full idle sweep over proportionally more cycles.
         """
         return self._prune_interval
+
+    @property
+    def active_components(self) -> int:
+        """Schedule entries in the active set (all, under naive)."""
+        if not self._scheduled:
+            return len(self._components)
+        return len(self._active)
+
+    def stats(self) -> dict:
+        """Operational scheduler state, as the telemetry probe samples it.
+
+        Plain ints only — the dict is JSON-able as-is and cheap enough
+        to build every sampling interval.
+        """
+        return {
+            "kernel": self.kernel,
+            "cycle": self.cycle,
+            "components": len(self._components),
+            "active": self.active_components,
+            "armed_timers": len(self._timers),
+            "idle_cycles_skipped": self.idle_cycles_skipped,
+            "component_steps": self.component_steps,
+        }
 
     # -- registration -------------------------------------------------------
 

@@ -1,13 +1,37 @@
-"""Telemetry: cycle-accurate trace capture and replay (section V-F).
+"""Telemetry: tracing, metrics, sampling probes, profiling (sec V-F).
 
-The paper's TCP debugging workflow: logging tiles record the exact
-timing and sequence of packets entering/leaving an engine; the log is
-read back over the network; the run is then replayed cycle-accurately
-in simulation by replacing the logging tiles with the replay driver.
-:class:`FrameTraceRecorder` and :class:`TraceReplayer` are that
-workflow for our simulated designs.
+Two planes, two costs:
+
+- The *debug* plane — :class:`Tracer` (cycle-accurate spans, Chrome
+  trace export) and the paper's log/replay workflow
+  (:class:`FrameTraceRecorder` / :class:`TraceReplayer`): records
+  everything, costs accordingly, attach only when investigating.
+- The *operational* plane — :class:`~repro.telemetry.metrics.
+  MetricsRegistry` (counters, gauges, p50/p99/p999 histograms) fed by
+  :func:`~repro.telemetry.probe.attach_probe`'s periodic sampler and
+  exported via :mod:`repro.telemetry.export` (Prometheus text,
+  replayable snapshot series for ``python -m repro.tools.top``):
+  cheap enough to leave on.
+
+Both planes share one null-path contract: not attached means not
+wrapped — ``NULL_TRACER``, ``attach_probe(design, None)`` and an
+uninstalled :class:`~repro.telemetry.hostprof.HostProfiler` cost
+exactly nothing on the hot path.
 """
 
+from repro.telemetry.export import (
+    SnapshotSeries,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.telemetry.hostprof import HostProfiler, profile_run
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.probe import DEFAULT_INTERVAL, Probe, attach_probe
 from repro.telemetry.replay import FrameTraceRecorder, TraceReplayer
 from repro.telemetry.stats import design_counters, design_report
 from repro.telemetry.trace import (
@@ -21,15 +45,27 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_INTERVAL",
     "FrameTraceRecorder",
+    "Gauge",
+    "Histogram",
+    "HostProfiler",
+    "MetricsRegistry",
     "MetricsWindow",
     "NULL_TRACER",
     "NullTracer",
+    "Probe",
+    "SnapshotSeries",
     "Tracer",
     "TraceReplayer",
+    "attach_probe",
     "attach_tracer",
     "chrome_trace_events",
     "design_counters",
     "design_report",
+    "parse_prometheus_text",
+    "profile_run",
+    "prometheus_text",
     "write_chrome_trace",
 ]

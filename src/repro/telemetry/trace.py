@@ -307,6 +307,7 @@ class WindowSample:
     latencies: list        # packets whose egress fell in this window
     p50: float | None
     p99: float | None
+    p999: float | None
     drops: Counter         # drop reason -> count
 
     @property
@@ -315,6 +316,32 @@ class WindowSample:
         if not self.link_util:
             return None
         return max(self.link_util.items(), key=lambda item: item[1])
+
+    def to_dict(self) -> dict:
+        """The window as a structured, JSON-able dict.
+
+        Link/router keys are rendered ``"(x, y)->port"`` so the dict
+        round-trips through JSON; this is the one source the report
+        renderer and every exporter consume.
+        """
+        return {
+            "start": self.start,
+            "end": self.end,
+            "link_util": {f"{coord}->{port}": util
+                          for (coord, port), util
+                          in sorted(self.link_util.items(),
+                                    key=lambda item: repr(item[0]))},
+            "link_stalls": {f"{coord}->{port}": count
+                            for (coord, port), count
+                            in sorted(self.link_stalls.items(),
+                                      key=lambda item: repr(item[0]))},
+            "tile_busy": dict(sorted(self.tile_busy.items())),
+            "packets": len(self.latencies),
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "drops": dict(sorted(self.drops.items())),
+        }
 
 
 class MetricsWindow:
@@ -391,6 +418,7 @@ class MetricsWindow:
                 latencies=latencies[index],
                 p50=percentile(latencies[index], 50),
                 p99=percentile(latencies[index], 99),
+                p999=percentile(latencies[index], 99.9),
                 drops=drops[index],
             )
             for index in range(n_windows)
@@ -398,7 +426,7 @@ class MetricsWindow:
         return self._samples
 
     def latency_stats(self) -> dict:
-        """Whole-run latency distribution: count, min/max, p50/p99."""
+        """Whole-run latency distribution: count, min/max, p50/p99/p999."""
         latencies = list(self.tracer.packet_latencies().values())
         return {
             "count": len(latencies),
@@ -406,6 +434,20 @@ class MetricsWindow:
             "max": max(latencies) if latencies else None,
             "p50": percentile(latencies, 50),
             "p99": percentile(latencies, 99),
+            "p999": percentile(latencies, 99.9),
+        }
+
+    def to_dict(self) -> dict:
+        """Every window plus the whole-run stats, as one structured dict.
+
+        ``design_report`` renders its per-window table from exactly
+        this structure, and the exporters serialise it unchanged — one
+        source for both the human and the machine view.
+        """
+        return {
+            "window_cycles": self.window_cycles,
+            "windows": [sample.to_dict() for sample in self.samples()],
+            "latency": self.latency_stats(),
         }
 
 

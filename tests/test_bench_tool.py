@@ -1,0 +1,148 @@
+"""Tests for the perf-lab runner and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.tools.bench import (
+    SCHEMA,
+    compare_documents,
+    flatten_metrics,
+    load_bench_document,
+    main,
+    metric_direction,
+    run_benchmark,
+    validate_bench_document,
+)
+
+
+def make_document(goodput=113.2, wall=1.5, p99=120.0):
+    return {
+        "schema": SCHEMA,
+        "results": {
+            "mesh_backend": {
+                "wall_s": wall,
+                "metrics": {
+                    "flat.goodput_gbps": goodput,
+                    "latency.p99": p99,
+                    "config.fifo_depth": 8.0,
+                },
+            },
+        },
+    }
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves(self):
+        data = {"a": {"b": 1, "c": 2.5}, "d": [3, {"e": 4}],
+                "skip": "text", "flag": True}
+        flat = flatten_metrics(data)
+        assert flat == {"a.b": 1.0, "a.c": 2.5, "d.0": 3.0,
+                        "d.1.e": 4.0}
+
+    def test_direction_heuristics(self):
+        assert metric_direction("flat.goodput_gbps") == 1
+        assert metric_direction("speedup") == 1
+        assert metric_direction("latency.p99") == -1
+        assert metric_direction("wall_s") == -1
+        # Lower-better wins mixed names: a goodput *timing* is a timing.
+        assert metric_direction("goodput_wall_s") == -1
+        assert metric_direction("fifo_depth") == 0
+
+
+class TestSchema:
+    def test_valid_document(self):
+        assert validate_bench_document(make_document())
+
+    def test_rejections(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_document({"schema": "nope", "results": {}})
+        with pytest.raises(ValueError, match="results"):
+            validate_bench_document({"schema": SCHEMA})
+        bad = make_document()
+        bad["results"]["mesh_backend"]["wall_s"] = "fast"
+        with pytest.raises(ValueError, match="wall_s"):
+            validate_bench_document(bad)
+        bad = make_document()
+        bad["results"]["mesh_backend"]["metrics"]["x"] = "slow"
+        with pytest.raises(ValueError, match="must be a number"):
+            validate_bench_document(bad)
+
+
+class TestCompare:
+    def test_self_compare_passes(self):
+        doc = make_document()
+        outcome = compare_documents(doc, doc)
+        assert outcome["regressions"] == []
+        assert outcome["improvements"] == []
+        assert outcome["unchanged"] == 2  # goodput + p99; depth ungated
+
+    def test_injected_regression_is_flagged(self):
+        baseline = make_document(goodput=113.2)
+        current = make_document(goodput=90.0)  # -20% goodput
+        outcome = compare_documents(current, baseline)
+        assert len(outcome["regressions"]) == 1
+        bench, metric, base, cur, change = outcome["regressions"][0]
+        assert metric == "flat.goodput_gbps"
+        assert change < -0.05
+
+    def test_latency_growth_is_a_regression(self):
+        outcome = compare_documents(make_document(p99=200.0),
+                                    make_document(p99=120.0))
+        assert [r[1] for r in outcome["regressions"]] == ["latency.p99"]
+
+    def test_improvement_not_flagged(self):
+        outcome = compare_documents(make_document(goodput=150.0),
+                                    make_document(goodput=113.2))
+        assert outcome["regressions"] == []
+        assert len(outcome["improvements"]) == 1
+
+    def test_threshold_respected(self):
+        baseline = make_document(goodput=100.0)
+        current = make_document(goodput=97.0)  # -3%
+        assert compare_documents(current, baseline,
+                                 threshold=0.05)["regressions"] == []
+        assert compare_documents(current, baseline,
+                                 threshold=0.01)["regressions"]
+
+
+class TestCli:
+    def test_check_and_compare_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(make_document(goodput=113.2)))
+        cur.write_text(json.dumps(make_document(goodput=90.0)))
+
+        assert main(["--check", str(base)]) == 0
+        assert main(["--input", str(base),
+                     "--compare", str(base)]) == 0  # self-compare
+        assert main(["--input", str(cur),
+                     "--compare", str(base)]) == 1  # regression
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "flat.goodput_gbps" in out
+
+    def test_bad_document_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert main(["--check", str(bad)]) == 2
+        assert main(["--input", str(bad)]) == 2
+
+    def test_runs_a_bench_module(self, tmp_path, capsys):
+        bench = tmp_path / "bench_tiny.py"
+        bench.write_text(
+            "def run_tiny():\n"
+            "    return {'goodput_gbps': 42.0, 'frames': 10}\n")
+        out_path = tmp_path / "out.json"
+        assert main([str(bench), "--out", str(out_path)]) == 0
+        document = load_bench_document(str(out_path))
+        metrics = document["results"]["tiny"]["metrics"]
+        assert metrics == {"goodput_gbps": 42.0, "frames": 10.0}
+
+    def test_entry_point_prefers_module_suffix(self, tmp_path):
+        bench = tmp_path / "bench_multi_scalability.py"
+        bench.write_text(
+            "def run_helper_sweep():\n    return {'x': 1}\n"
+            "def run_scalability():\n    return {'x': 2}\n")
+        result = run_benchmark(str(bench))
+        assert result["metrics"] == {"x": 2.0}

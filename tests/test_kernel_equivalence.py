@@ -524,3 +524,48 @@ class TestIdleSkipActuallyHappens:
         design.add_client(CLIENT_IP, CLIENT_MAC)
         design.sim.run(500)
         assert design.sim.idle_cycles_skipped == 0
+
+
+class TestProbedEquivalence:
+    """An attached telemetry probe is read-only and timer-driven, so it
+    must neither break kernel x backend equivalence nor change any
+    observable of the run it samples (its wakes do bound the scheduled
+    kernel's idle skips — more wakeups, same cycles)."""
+
+    def _scenario(self, probed):
+        from repro.telemetry import attach_probe
+
+        def scenario(kernel, backend):
+            design = UdpEchoDesign(udp_port=7,
+                                   line_rate_bytes_per_cycle=50.0,
+                                   kernel=kernel,
+                                   mesh_backend=backend)
+            design.add_client(CLIENT_IP, CLIENT_MAC)
+            tracer = attach_tracer(design, Tracer())
+            probe = attach_probe(design,
+                                 interval=250 if probed else None)
+            frame = echo_frame(design, b"x" * 64)
+            source = FrameSource(design.inject, lambda i: frame,
+                                 rate=5.0, count=20)
+            sink = FrameSink(design.eth_tx)
+            design.sim.add(source)
+            design.sim.add(sink)
+            design.sim.run(6000)
+            assert sink.count == 20
+            if probed:
+                assert probe.samples_taken == 5999 // 250
+            return fingerprint(design, sink, tracer)
+
+        return scenario
+
+    def test_probed_runs_stay_equivalent(self):
+        assert_equivalent(self._scenario(probed=True))
+
+    def test_probe_changes_nothing_observable(self):
+        results_probed = run_both(self._scenario(probed=True))
+        results_plain = run_both(self._scenario(probed=False))
+        for combo in COMBOS:
+            for key in results_plain[combo]:
+                assert results_plain[combo][key] == \
+                    results_probed[combo][key], (
+                        f"probe perturbed {key!r} under {combo!r}")

@@ -114,7 +114,7 @@ class TestLogReadback:
         assert sink.count == 0
 
     def test_design_is_deadlock_checked(self):
-        from repro.deadlock import analyze_chains
+        from repro.analysis.deadlock import analyze_chains
         design, _ = make_design()
         assert analyze_chains(design.chains,
                               design.tile_coords) is None

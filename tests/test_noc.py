@@ -346,7 +346,7 @@ class TestYxRouting:
         """Safety is a property of placement *and* routing: the Fig 5b
         placement is safe under XY, and an analysis under YX of a
         vertically-laid-out chain shows the dual behaviour."""
-        from repro.deadlock.analysis import analyze_chains
+        from repro.analysis.deadlock import analyze_chains
         from repro.noc.routing import yx_route
 
         # Fig 5a rotated 90 degrees: a column layout that reuses a

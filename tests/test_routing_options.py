@@ -8,7 +8,7 @@ to check the framework-level claim.
 """
 
 from repro.apps.echo import UdpEchoAppTile
-from repro.deadlock.analysis import analyze_chains, assert_deadlock_free
+from repro.analysis.deadlock import analyze_chains, assert_deadlock_free
 from repro.designs import FrameSink
 from repro.noc.mesh import Mesh
 from repro.noc.routing import yx_route

@@ -118,3 +118,104 @@ class TestDesignStats:
         counters = design_counters(design)
         by_name = {tile.name: tile for tile in counters["tiles"]}
         assert by_name["udp_rx"].drops == 1
+
+
+class TestDesignCountersEdgeCases:
+    """The scrape surface must survive whatever a design gives it."""
+
+    class _StubMesh:
+        def __init__(self):
+            self.routers = {}
+            self.total_flits_forwarded = 0
+
+    class _StubSim:
+        cycle = 123
+
+    def _design(self, tiles):
+        stub = type("StubDesign", (), {})()
+        stub.tiles = tiles
+        stub.mesh = self._StubMesh()
+        stub.sim = self._StubSim()
+        return stub
+
+    def _tile(self, name, **attrs):
+        tile = type("StubTile", (), {})()
+        tile.name = name
+        tile.coord = attrs.pop("coord", (0, 0))
+        for key, value in attrs.items():
+            setattr(tile, key, value)
+        return tile
+
+    def test_tiles_as_dict_and_list_agree(self):
+        from repro.telemetry import design_counters
+
+        tile = self._tile("only", messages_in=7)
+        as_list = design_counters(self._design([tile]))
+        as_dict = design_counters(self._design({"only": tile}))
+        assert as_list["tiles"] == as_dict["tiles"]
+        assert as_list["tiles"][0].messages_in == 7
+
+    def test_missing_attributes_report_zero(self):
+        """A bare stub tile (no counters, no port) must scrape as
+        zeros, never raise — monitoring cannot take the design down."""
+        from repro.telemetry import design_counters
+
+        counters = design_counters(self._design([self._tile("bare")]))
+        tile = counters["tiles"][0]
+        assert tile.messages_in == 0
+        assert tile.drops == 0
+        assert tile.drop_reasons == {}
+        assert tile.eject_high_water == 0
+        assert tile.tx_backlog_high_water == 0
+
+    def test_drop_reasons_copied_not_aliased(self):
+        from repro.telemetry import design_counters
+
+        reasons = {"bad_csum": 2}
+        tile = self._tile("t", drops=2, drop_reasons=reasons)
+        counters = design_counters(self._design([tile]))
+        counters["tiles"][0].drop_reasons["bad_csum"] = 99
+        assert reasons["bad_csum"] == 2  # caller's dict untouched
+
+    def test_none_drop_reasons_tolerated(self):
+        from repro.telemetry import design_counters
+
+        tile = self._tile("t", drop_reasons=None)
+        counters = design_counters(self._design([tile]))
+        assert counters["tiles"][0].drop_reasons == {}
+
+    def test_flit_attribution_identical_across_backends(self):
+        """Per-router flit counts (and their report rendering) must
+        not depend on which mesh backend ran the design."""
+        from repro.designs import UdpEchoDesign
+        from repro.telemetry import design_counters
+
+        def flits(backend):
+            design = UdpEchoDesign(udp_port=7,
+                                   line_rate_bytes_per_cycle=None,
+                                   mesh_backend=backend)
+            design.add_client(CLIENT_IP, CLIENT_MAC)
+            design.inject(frame(design, b"route me"), 0)
+            design.sim.run(600)
+            counters = design_counters(design)
+            return counters["router_flits"], counters["total_flits"]
+
+        assert flits("flat") == flits("object")
+
+    def test_report_includes_p999_column(self):
+        from repro.telemetry import (
+            MetricsWindow,
+            Tracer,
+            attach_tracer,
+            design_report,
+        )
+
+        design = make_design()
+        tracer = attach_tracer(design, Tracer())
+        sink = FrameSink(design.eth_tx)
+        design.sim.add(sink)
+        design.inject(frame(design, b"measure me"), 0)
+        design.sim.run_until(lambda: sink.count >= 1, max_cycles=2000)
+        report = design_report(design, MetricsWindow(tracer, 500))
+        assert "p999" in report
+        assert "ej hwm" in report and "tx hwm" in report
