@@ -16,13 +16,24 @@ benchmark measures what that buys and writes ``BENCH_mesh.json``:
   MTU-sized requests.  ~115 schedulable components collapse into one
   batch-stepped core, and wormholes stretch across the whole fabric:
   this is where the flat backend pays off (~1.7x measured locally).
+- *tiles saturating*: the tile-engine axis — ``tile_backend="flat"``
+  vs ``"object"`` with the mesh held flat on both sides.  A 12x10
+  scaled echo (114 application tiles) under back-to-back MTU-sized
+  requests, on the *naive* kernel so the kernel treats both engines
+  identically (step everything, every cycle) and the measured gap is
+  the tile engine's alone: the object engine pays one Python
+  ``Tile.step`` dispatch per tile per cycle while
+  :class:`~repro.tiles.flatcore.FlatTileCore` batch-steps the busy
+  subset from one loop.  The advantage grows with tile count, which
+  is the point of a batch engine (~1.5-1.6x measured locally at 162
+  tiles).
 - *16x16 scalability*: the same scaled stack generalised to a 16x16
   mesh (256 routers, 70 tiles) — a size whose object-backend
   construction and stepping costs push past comfortable CI budgets.
   The row runs flat-only and completes in seconds, demonstrating the
   sweep headroom ``bench_sec7i_scalability`` exploits.
 
-Both two-backend rows assert bit-identical results (frame bytes and
+All two-backend rows assert bit-identical results (frame bytes and
 emit cycles) across backends — speed must never change simulated
 behaviour.
 """
@@ -48,11 +59,22 @@ SWEEP_CYCLES = 8_000
 SWEEP_APPS = 64                  # 16x16 hosts up to 250
 REPS = 2                         # best-of-N wall clock per config
 
+# Tile-engine axis operating point: big enough that per-tile Python
+# dispatch dominates the object engine (the flat engine's win scales
+# with tile count), on the naive kernel so scheduling treats both
+# engines identically.  Best-of-3 because the ratio floor is tight.
+TILE_APPS = 162
+TILE_WIDTH = 14
+TILE_HEIGHT = 12
+TILE_REPS = 3
+
 # Hard regression floors.  The saturating point measures ~1.7x
 # locally (best-of-2); the floors leave headroom for noisy CI runners
 # while still catching a flat backend that has stopped paying off.
 MIN_SAT_SPEEDUP = 1.4
 MIN_IDLE_SPEEDUP = 0.8
+# Tile axis: ~1.5-1.6x measured locally (best-of-3, 162 tiles).
+MIN_TILE_SPEEDUP = 1.4
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_mesh.json"
 
@@ -78,11 +100,14 @@ def _run_udp(backend: str, rate: float | None, cycles: int):
 
 
 def _run_scaled(backend: str, cycles: int, n_apps: int = 22,
-                width: int | None = None, height: int | None = None):
+                width: int | None = None, height: int | None = None,
+                tile_backend: str = "object",
+                kernel: str = "scheduled"):
     """Saturating operating point: the section VII-I scaled echo."""
     reset_id_counters()
     design = ScaledEchoDesign(n_apps=n_apps, mesh_backend=backend,
-                              width=width, height=height)
+                              width=width, height=height,
+                              tile_backend=tile_backend, kernel=kernel)
     design.add_client(CLIENT_IP, CLIENT_MAC)
     frames = [build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
                                    CLIENT_IP, design.server_ip,
@@ -99,16 +124,27 @@ def _run_scaled(backend: str, cycles: int, n_apps: int = 22,
     return wall, list(sink.frames)
 
 
-def _measure(run, *args) -> dict:
-    """Both backends on one workload, best-of-REPS wall clock."""
+def _run_tiles(tile_backend: str, cycles: int):
+    """Tile-engine axis: mesh held flat, naive kernel on both sides."""
+    return _run_scaled("flat", cycles, TILE_APPS, TILE_WIDTH,
+                       TILE_HEIGHT, tile_backend=tile_backend,
+                       kernel="naive")
+
+
+def _measure(run, *args, reps: int = REPS) -> dict:
+    """Both backends on one workload, best-of-``reps`` wall clock.
+
+    Reps interleave object/flat so slow host drift cancels instead of
+    biasing whichever backend ran last.
+    """
     object_wall, object_frames = run("object", *args)
     flat_wall, flat_frames = run("flat", *args)
-    for _ in range(REPS - 1):
+    for _ in range(reps - 1):
         object_wall = min(object_wall, run("object", *args)[0])
         flat_wall = min(flat_wall, run("flat", *args)[0])
     # Bit-identical results: same frame bytes at the same emit cycles.
     assert object_frames == flat_frames, \
-        "flat mesh backend diverged from object (frames or emit cycles)"
+        "flat backend diverged from object (frames or emit cycles)"
     return {
         "frames": len(flat_frames),
         "object_wall_s": round(object_wall, 4),
@@ -124,6 +160,11 @@ def run_mesh_backend() -> dict:
     sat = _measure(_run_scaled, SAT_CYCLES)
     sat.update(design="ScaledEchoDesign 7x4 (22 apps)",
                cycles=SAT_CYCLES, rate_bytes_per_cycle=None)
+    tiles = _measure(_run_tiles, SAT_CYCLES, reps=TILE_REPS)
+    tiles.update(design=(f"ScaledEchoDesign {TILE_WIDTH}x{TILE_HEIGHT} "
+                         f"({TILE_APPS} apps), naive kernel"),
+                 cycles=SAT_CYCLES, rate_bytes_per_cycle=None,
+                 mesh_backend="flat", kernel="naive")
 
     # 16x16 row: flat-only — the point is that the size is reachable.
     wall, frames = _run_scaled("flat", SWEEP_CYCLES, SWEEP_APPS, 16, 16)
@@ -141,6 +182,7 @@ def run_mesh_backend() -> dict:
         "payload_bytes": PAYLOAD,
         "idle_heavy": idle,
         "saturating": sat,
+        "tiles_saturating": tiles,
         "scalability_16x16": sweep,
     }
 
@@ -151,7 +193,7 @@ def bench_mesh_backend(benchmark, report):
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
     rows = []
-    for tag in ("idle_heavy", "saturating"):
+    for tag in ("idle_heavy", "saturating", "tiles_saturating"):
         r = results[tag]
         rows.append([tag, r["design"], r["frames"], r["object_wall_s"],
                      r["flat_wall_s"], r["speedup"]])
@@ -173,4 +215,9 @@ def bench_mesh_backend(benchmark, report):
     assert idle["speedup"] >= MIN_IDLE_SPEEDUP, (
         f"idle-heavy speedup {idle['speedup']}x below parity floor "
         f"{MIN_IDLE_SPEEDUP}x — the flat backend is taxing idle skip")
+    tiles = results["tiles_saturating"]
+    assert tiles["speedup"] >= MIN_TILE_SPEEDUP, (
+        f"tile-engine speedup {tiles['speedup']}x below regression "
+        f"floor {MIN_TILE_SPEEDUP}x — has the flat tile engine "
+        "stopped paying?")
     assert sweep["frames"] > 0, "16x16 sweep row moved no traffic"

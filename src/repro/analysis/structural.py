@@ -157,12 +157,19 @@ def _registration_findings(model: DesignModel) -> list[Finding]:
                 location=getattr(by_id[key], "name", "")))
     # A substep is stepped by its parent, so it counts as registered —
     # unless it is *also* in the simulator directly, in which case it
-    # steps twice per cycle.
-    substep_parents = model.substep_parents()
-    for key, parent in substep_parents.items():
+    # steps twice per cycle.  The same applies when two parents both
+    # claim a substep (e.g. a tile adopted by two flat tile cores):
+    # ``substep_parents`` dedupes on id, so count occurrences here.
+    sub_claims: dict[int, dict[int, object]] = {}
+    sub_by_id: dict[int, object] = {}
+    for component in model.components():
+        for sub in model.substeps(component):
+            sub_claims.setdefault(id(sub), {})[id(component)] = component
+            sub_by_id[id(sub)] = sub
+    for key, parents in sub_claims.items():
+        sub = sub_by_id[key]
         if key in registered:
-            sub = next(s for s in model.substeps(parent)
-                       if id(s) == key)
+            parent = next(iter(parents.values()))
             findings.append(Finding(
                 "BHV106",
                 f"component {sub!r} is registered with the simulator "
@@ -170,7 +177,16 @@ def _registration_findings(model: DesignModel) -> list[Finding]:
                 f"{getattr(parent, 'name', parent)!r} — it steps "
                 "twice per cycle",
                 location=getattr(sub, "name", "")))
-    registered |= set(substep_parents)
+        if len(parents) > 1:
+            names = ", ".join(
+                repr(getattr(p, "name", p)) for p in parents.values())
+            findings.append(Finding(
+                "BHV106",
+                f"component {sub!r} is stepped internally by "
+                f"{len(parents)} parents ({names}) — it steps that "
+                "many times per cycle",
+                location=getattr(sub, "name", "")))
+    registered |= set(sub_claims)
     for port in model.attached_ports():
         if id(port) not in registered:
             findings.append(Finding(

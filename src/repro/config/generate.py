@@ -20,6 +20,7 @@ from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.buffer import BufferTile
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
@@ -152,11 +153,13 @@ class GeneratedDesign:
     """A design built from a :class:`DesignSpec`."""
 
     def __init__(self, spec: DesignSpec, kernel: str = "scheduled",
-                 mesh_backend: str = "flat"):
+                 mesh_backend: str = "flat",
+                 tile_backend: str = "flat"):
         self.spec = spec
         self.report = validate(spec)
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(spec.width, spec.height,
                                backend=mesh_backend)
         context = BuildContext(self.mesh)
@@ -171,8 +174,9 @@ class GeneratedDesign:
             self.tiles[tile_spec.name] = factory(tile_spec, context)
         self._wire_dests(spec)
         self.mesh.register(self.sim)
-        for tile in self.tiles.values():
-            self.sim.add(tile)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
         self.chains = [chain.tiles for chain in spec.chains]
         self.tile_coords = spec.coords()
         assert_deadlock_free(self.chains, self.tile_coords)

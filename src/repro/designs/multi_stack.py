@@ -22,6 +22,7 @@ from repro.noc.mesh import Mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.loadbalancer import FlowHashLoadBalancerTile
@@ -75,11 +76,13 @@ class MultiStackDesign:
                  line_rate_bytes_per_cycle: float | None = None,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         if stacks < 1:
             raise ValueError("need at least one stack")
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(5, 2 * stacks, backend=mesh_backend)
         self.lb = FlowHashLoadBalancerTile("lb", self.mesh, (0, 0))
         self.stacks = [
@@ -95,7 +98,9 @@ class MultiStackDesign:
             self.chains.append(["lb"] + stack.chain)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
         self.tile_coords = {t.name: t.coord for t in self.tiles}
         assert_deadlock_free(self.chains, self.tile_coords)
         attach_faults(self, fault_plan)

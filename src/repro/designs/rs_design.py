@@ -21,6 +21,7 @@ from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.scheduler import RoundRobinSchedulerTile
@@ -40,13 +41,15 @@ class RsDesign:
                  rs_gbps: float = params.RS_TILE_GBPS,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         if not 1 <= instances <= 4:
             raise ValueError("this layout hosts 1-4 RS instances")
         self.instances = instances
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(6, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
@@ -83,7 +86,9 @@ class RsDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         self.chains = [
             ["eth_rx", "ip_rx", "udp_rx", "sched", tile.name,

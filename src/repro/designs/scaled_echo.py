@@ -19,6 +19,7 @@ from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.udp import UdpRxTile, UdpTxTile
@@ -45,6 +46,7 @@ class ScaledEchoDesign:
                  line_rate_bytes_per_cycle: float | None = None,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  width: int | None = None,
                  height: int | None = None,
                  fault_plan=None):
@@ -60,7 +62,8 @@ class ScaledEchoDesign:
         self.n_apps = n_apps
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(self.width, self.height,
                                backend=mesh_backend)
 
@@ -104,7 +107,9 @@ class ScaledEchoDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         self.chains = [
             ["eth_rx", "ip_rx", "udp_rx", app.name,

@@ -21,6 +21,7 @@ from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_TCP, IPv4Address
 from repro.analysis.deadlock import assert_deadlock_free
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tcp.app import TcpEchoAppTile
 from repro.tcp.flow import FlowTable
 from repro.tcp.rx_engine import TcpRxEngineTile
@@ -47,11 +48,13 @@ class TcpServerDesign:
                  congestion_control: bool = False,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None,
                  **app_kwargs):
         self.tcp_port = tcp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(6, 2, backend=mesh_backend)
         self.flows = FlowTable(max_flows=max_flows)
 
@@ -123,7 +126,9 @@ class TcpServerDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         rx_chain = ["eth_rx", "ip_rx"]
         if with_logging:

@@ -21,6 +21,7 @@ from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.analysis.deadlock import assert_deadlock_free
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.udp import UdpRxTile, UdpTxTile
@@ -37,10 +38,12 @@ class UdpEchoDesign:
                  app_tile_cls=UdpEchoAppTile,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(4, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
@@ -67,7 +70,8 @@ class UdpEchoDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles, tile_backend)
 
         # Message chains (tile-name sequences) for deadlock analysis.
         self.chains = [
@@ -120,13 +124,15 @@ class LoggedUdpEchoDesign(UdpEchoDesign):
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         # Build from scratch (different geometry than the base class).
         from repro.tiles.logger import PacketLogTile
 
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(5, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
@@ -162,7 +168,8 @@ class LoggedUdpEchoDesign(UdpEchoDesign):
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles, tile_backend)
 
         # Chains segmented at the log tile's dropping request buffer.
         self.chains = [

@@ -26,6 +26,7 @@ from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_IPIP, IPPROTO_UDP, IPv4Address
 from repro.analysis.deadlock import assert_deadlock_free
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.ipinip import IpInIpDecapTile, IpInIpEncapTile
@@ -44,10 +45,12 @@ class NatEchoDesign:
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(5, 2, backend=mesh_backend)
         self.nat_table = NatTable()
 
@@ -85,7 +88,9 @@ class NatEchoDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         self.chains = [
             ["eth_rx", "ip_rx", "nat_rx", "udp_rx", "app",
@@ -119,10 +124,12 @@ class IpInIpEchoDesign:
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(6, 2, backend=mesh_backend)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
@@ -166,7 +173,9 @@ class IpInIpEchoDesign:
                                             self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         self.chains = [
             ["eth_rx", "ip_rx_outer", "decap", "ip_rx_inner", "udp_rx",

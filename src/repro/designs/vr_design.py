@@ -23,6 +23,7 @@ from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.udp import UdpRxTile, UdpTxTile
@@ -47,13 +48,15 @@ class VrWitnessDesign:
                  duplicate_udp: bool = False,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         if not 1 <= shards <= 4:
             raise ValueError("this layout hosts 1-4 witness shards")
         self.shards = shards
         self.duplicate_udp = duplicate_udp
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         width = 7 if duplicate_udp else 6
         self.mesh = build_mesh(width, 2, backend=mesh_backend)
         witness_coords = ([(4, 0), (5, 0), (6, 0), (4, 1)]
@@ -115,7 +118,9 @@ class VrWitnessDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         self.chains = [
             ["eth_rx", "ip_rx", udp_rx.name, witness.name,

@@ -26,6 +26,7 @@ from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
 from repro.packet.vxlan import VXLAN_UDP_PORT
 from repro.sim.kernel import CycleSimulator
+from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.udp import UdpRxTile, UdpTxTile
@@ -44,11 +45,13 @@ class VxlanEchoDesign:
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
+                 tile_backend: str = "flat",
                  fault_plan=None):
         self.vni = vni
         self.udp_port = udp_port
         self.sim = CycleSimulator(kernel=kernel,
-                                  mesh_backend=mesh_backend)
+                                  mesh_backend=mesh_backend,
+                                  tile_backend=tile_backend)
         self.mesh = build_mesh(8, 2, backend=mesh_backend)
 
         # Outer (underlay) stack.
@@ -114,7 +117,9 @@ class VxlanEchoDesign:
                                       self.eth_tx.coord)
 
         self.mesh.register(self.sim)
-        self.sim.add_all(self.tiles)
+        self.tile_backend = tile_backend
+        self.tile_core = register_tiles(self.sim, self.tiles,
+                                        tile_backend)
 
         self.chains = [
             ["eth_rx", "ip_rx", "udp_rx", "decap", "in_eth_rx",

@@ -207,7 +207,10 @@ class FaultEngine(Wakeable):
         tile._fault_frozen = False
         # Kernel-wake-safe resume: a tile that slept through the whole
         # window re-enters the active set and re-derives its timers.
-        self.sim.wake(tile)
+        # ``_wake`` routes through whatever hook owns the tile — the
+        # scheduled kernel's waker, a flat tile core's busy-bit setter,
+        # or nothing under the naive kernel (which steps everything).
+        tile._wake()
         self.record("tile.thaw", target=tile.name)
 
     def _stall(self, port, cycle: int) -> None:

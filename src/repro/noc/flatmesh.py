@@ -198,6 +198,10 @@ class FlatMeshCore(Wakeable):
         # Wormhole allocation state, mirroring Router._grant/_rr.
         self._grant: list[int] = [-1] * n5
         self._rr: list[int] = [0] * n5
+        # Per-router bitmask of granted outputs (bit o set iff
+        # grant[r*5+o] >= 0), so the arbitration loop visits only
+        # outputs that are locked or freshly requested.
+        self._gmask: list[int] = [0] * n
         # Output wiring: fid of the downstream ring per (router, out
         # port), -1 where the mesh edge leaves the output unconnected.
         # LOCAL outputs resolve through _ejects instead.
@@ -345,6 +349,7 @@ class FlatMeshCore(Wakeable):
         dirty = self._dirty
         dirty_eject = self._dirty_eject
         grant = self._grant
+        gmask = self._gmask
         rr = self._rr
         down = self._down
         down_router = self._down_router
@@ -422,11 +427,15 @@ class FlatMeshCore(Wakeable):
                 req[fid] = want
                 wants[i] = want
             moved = 0
-            for out_index in range(n_ports):
+            # Visit only locked-or-requested outputs, ascending index
+            # (LSB-first == the object backend's port iteration order).
+            om = reqmask | gmask[r]
+            while om:
+                lowo = om & -om
+                om ^= lowo
+                out_index = lowo.bit_length() - 1
                 ofid = base + out_index
                 owner = grant[ofid]
-                if owner < 0 and not (reqmask >> out_index) & 1:
-                    continue  # free output nobody requests: no-op
                 if out_index:
                     dfid = down[ofid]
                     if dfid < 0:
@@ -436,7 +445,10 @@ class FlatMeshCore(Wakeable):
                     eject = ejects[r]
                     if eject is None:
                         continue
-                    room = eject.can_accept()
+                    # eject.can_accept() inlined (hot at saturation).
+                    cap = eject.capacity
+                    room = (cap is None or
+                            len(eject._items) + len(eject._staged) < cap)
                 if owner >= 0:
                     # Locked wormhole: move the owner's next body flit.
                     if moved & (1 << owner):
@@ -479,9 +491,14 @@ class FlatMeshCore(Wakeable):
                         busy |= 1 << dr
                         ring_total += 1
                     else:
-                        if not eject._staged:
+                        # eject.push_unchecked(flit) inlined: stage the
+                        # flit, then fire the consumer wake hooks.
+                        staged = eject._staged
+                        if not staged:
                             dirty_eject.append(eject)
-                        eject.push_unchecked(flit)
+                        staged.append(flit)
+                        for waker in eject._wakers:
+                            waker()
                     moved |= 1 << owner
                     fwd[r] += 1
                     fwd_out[ofid] += 1
@@ -491,6 +508,7 @@ class FlatMeshCore(Wakeable):
                                               flit)
                     if flit.is_tail:
                         grant[ofid] = -1
+                        gmask[r] &= ~lowo
                     continue
                 # Free output: round-robin among requesting heads.
                 start = rr[ofid]
@@ -534,9 +552,14 @@ class FlatMeshCore(Wakeable):
                         busy |= 1 << dr
                         ring_total += 1
                     else:
-                        if not eject._staged:
+                        # eject.push_unchecked(flit) inlined: stage the
+                        # flit, then fire the consumer wake hooks.
+                        staged = eject._staged
+                        if not staged:
                             dirty_eject.append(eject)
-                        eject.push_unchecked(flit)
+                        staged.append(flit)
+                        for waker in eject._wakers:
+                            waker()
                     moved |= 1 << in_index
                     fwd[r] += 1
                     fwd_out[ofid] += 1
@@ -546,7 +569,9 @@ class FlatMeshCore(Wakeable):
                                               flit)
                     if not flit.is_tail:
                         grant[ofid] = in_index
-                    rr[ofid] = (in_index + 1) % n_ports
+                        gmask[r] |= lowo
+                    next_rr = in_index + 1
+                    rr[ofid] = 0 if next_rr == n_ports else next_rr
                     break
         self._ring_total = ring_total
         self._busy_mask = busy

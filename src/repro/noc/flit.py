@@ -12,12 +12,9 @@ OpenPiton routers unmodified.
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.params import FLIT_BYTES
-
-_flit_counter = itertools.count()
 
 
 class FlitKind(enum.Enum):
@@ -26,7 +23,7 @@ class FlitKind(enum.Enum):
     DATA = "data"
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, init=False)
 class Flit:
     """One flit.  ``payload`` is bytes for DATA flits, an arbitrary
     metadata object for METADATA flits, and routing info for HEADER
@@ -42,16 +39,27 @@ class Flit:
     # End-to-end packet correlation id, carried on the header flit so
     # reassembled messages keep the identity tracing assigned upstream.
     packet_id: int | None = None
-    seq: int = field(default_factory=lambda: next(_flit_counter))
 
-    def __post_init__(self):
-        if self.kind == FlitKind.DATA and self.payload is not None:
-            if not isinstance(self.payload, (bytes, bytearray, memoryview)):
+    # Hand-written so the saturated path (one construction per flit per
+    # message encode) skips generated-init overhead and validates only
+    # the one kind that needs it.
+    def __init__(self, kind, is_head, is_tail, dst, src, msg_id,
+                 payload=None, packet_id=None):
+        if kind is FlitKind.DATA and payload is not None:
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
                 raise TypeError("DATA flit payload must be bytes-like")
-            if len(self.payload) > FLIT_BYTES:
+            if len(payload) > FLIT_BYTES:
                 raise ValueError(
                     f"DATA flit payload exceeds {FLIT_BYTES} bytes"
                 )
+        self.kind = kind
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.dst = dst
+        self.src = src
+        self.msg_id = msg_id
+        self.payload = payload
+        self.packet_id = packet_id
 
     def __repr__(self) -> str:
         marks = ("H" if self.is_head else "") + ("T" if self.is_tail else "")

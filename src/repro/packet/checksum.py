@@ -1,18 +1,99 @@
-"""The Internet checksum (RFC 1071), used by IPv4, UDP, and TCP."""
+"""The Internet checksum (RFC 1071), used by IPv4, UDP, and TCP.
+
+The hot path sums 32-bit big-endian words and defers the carry fold to
+the end: RFC 1071 section 2 permits any accumulator width because
+one's-complement addition is associative and ``2**16 == 1 (mod 0xFFFF)``
+— the sum of a buffer's 16-bit words and the sum of its 32-bit words
+are congruent, and one final fold canonicalises the result.  Odd (or
+non-multiple-of-4) input is zero-padded, which adds nothing to the sum.
+
+An optional numpy backend can be selected with
+``set_checksum_backend("numpy")`` or by setting the
+``REPRO_CHECKSUM_NUMPY`` environment variable before import; the
+pure-Python word loop is the default and requires nothing beyond the
+stdlib.  Both produce bit-identical checksums (asserted by
+tests/test_packet_fuzz.py).
+
+``incremental_update`` implements RFC 1624 equation 3 (the -0-safe
+form of RFC 1071's incremental update) so tiles that rewrite a few
+header words — NAT address translation, IP identification bumps —
+can patch an existing checksum without touching the payload.
+"""
 
 from __future__ import annotations
+
+import os
+import struct
+
+_np = None  # numpy module when the numpy backend is active, else None
+
+# struct.Struct unpackers keyed by 32-bit word count.  Packet sizes are
+# bounded (MTU-ish), so this stays small; cleared if it ever balloons.
+_WORD_STRUCTS: dict[int, struct.Struct] = {}
+_WORD_STRUCTS_MAX = 2048
+
+
+def set_checksum_backend(name: str) -> None:
+    """Select the checksum implementation: ``"words"`` or ``"numpy"``.
+
+    ``"words"`` is the stdlib 32-bit word loop; ``"numpy"`` vectorises
+    the word sum (raises ImportError if numpy is unavailable).
+    """
+    global _np
+    if name == "words":
+        _np = None
+    elif name == "numpy":
+        import numpy
+        _np = numpy
+    else:
+        raise ValueError(f"unknown checksum backend {name!r}")
 
 
 def internet_checksum(data: bytes) -> int:
     """One's-complement 16-bit checksum over ``data``.
 
-    Odd-length input is padded with a zero byte, per RFC 1071.
+    Processes the buffer as 32-bit big-endian words with the carry
+    fold deferred to the end; bit-identical to the classic 16-bit
+    byte-pair loop for every input (including odd lengths, which are
+    zero-padded per RFC 1071).
     """
-    if len(data) % 2:
-        data = data + b"\x00"
-    total = 0
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
+    pad = -len(data) & 3
+    if pad:
+        data = data + b"\x00" * pad
+    if _np is not None:
+        total = int(_np.frombuffer(data, dtype=">u4").sum(dtype="uint64"))
+    else:
+        nwords = len(data) >> 2
+        unpacker = _WORD_STRUCTS.get(nwords)
+        if unpacker is None:
+            if len(_WORD_STRUCTS) >= _WORD_STRUCTS_MAX:
+                _WORD_STRUCTS.clear()
+            unpacker = _WORD_STRUCTS[nwords] = struct.Struct(f"!{nwords}I")
+        total = sum(unpacker.unpack(data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def incremental_update(checksum: int, old: bytes, new: bytes) -> int:
+    """Patch ``checksum`` for a field change ``old`` -> ``new``.
+
+    RFC 1624 equation 3: ``HC' = ~(~HC + ~m + m')``, summed 16 bits at
+    a time in one's-complement.  For a buffer whose embedded checksum
+    was valid, the result is bit-identical to recomputing from scratch
+    over the modified buffer.  ``old`` and ``new`` need not be the same
+    length (odd lengths are zero-padded), but they must describe
+    16-bit-aligned regions of the checksummed buffer.
+    """
+    if len(old) & 1:
+        old = old + b"\x00"
+    if len(new) & 1:
+        new = new + b"\x00"
+    total = (~checksum) & 0xFFFF
+    for i in range(0, len(old), 2):
+        total += 0xFFFF - ((old[i] << 8) | old[i + 1])
+    for i in range(0, len(new), 2):
+        total += (new[i] << 8) | new[i + 1]
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -25,3 +106,7 @@ def verify_checksum(data: bytes) -> bool:
     whole buffer equal 0xFFFF, so the complemented sum is zero.
     """
     return internet_checksum(data) == 0
+
+
+if os.environ.get("REPRO_CHECKSUM_NUMPY"):
+    set_checksum_backend("numpy")

@@ -16,6 +16,14 @@ ETHERTYPE_VLAN = 0x8100
 _HDR = struct.Struct("!6s6sH")
 _VLAN_TCI = struct.Struct("!HH")
 
+# Codec caches: Ethernet headers repeat per flow, so pack() memoises the
+# serialised bytes per field tuple and unpack() memoises validated
+# header blobs (parsed headers are never mutated in place).  Bounded,
+# cleared wholesale when full; hits are behaviour-identical to misses.
+_PACK_CACHE: dict[tuple, bytes] = {}
+_UNPACK_CACHE: dict[bytes, "EthernetHeader"] = {}
+_CACHE_MAX = 4096
+
 
 class MacAddress:
     """A 48-bit MAC address; hashable, comparable, printable."""
@@ -86,28 +94,44 @@ class EthernetHeader:
         return self.VLAN_HEADER_LEN if self.vlan is not None else self.HEADER_LEN
 
     def pack(self) -> bytes:
+        key = (self.dst.packed, self.src.packed, self.ethertype,
+               self.vlan, self.vlan_pcp)
+        raw = _PACK_CACHE.get(key)
+        if raw is not None:
+            return raw
         if self.vlan is None:
-            return _HDR.pack(self.dst.packed, self.src.packed, self.ethertype)
-        tci = (self.vlan_pcp << 13) | self.vlan
-        return _HDR.pack(self.dst.packed, self.src.packed, ETHERTYPE_VLAN) + \
-            _VLAN_TCI.pack(tci, self.ethertype)
+            raw = _HDR.pack(self.dst.packed, self.src.packed, self.ethertype)
+        else:
+            tci = (self.vlan_pcp << 13) | self.vlan
+            raw = _HDR.pack(self.dst.packed, self.src.packed,
+                            ETHERTYPE_VLAN) + \
+                _VLAN_TCI.pack(tci, self.ethertype)
+        if len(_PACK_CACHE) >= _CACHE_MAX:
+            _PACK_CACHE.clear()
+        _PACK_CACHE[key] = raw
+        return raw
 
     @classmethod
     def unpack(cls, data: bytes) -> tuple["EthernetHeader", bytes]:
         """Parse a header off the front of ``data``; returns (hdr, rest)."""
         if len(data) < cls.HEADER_LEN:
             raise ValueError(f"frame too short for Ethernet: {len(data)}")
+        tagged = data[12:14] == b"\x81\x00"
+        offset = cls.VLAN_HEADER_LEN if tagged else cls.HEADER_LEN
+        if tagged and len(data) < cls.VLAN_HEADER_LEN:
+            raise ValueError("frame too short for 802.1Q tag")
+        cacheable = cls is EthernetHeader
+        if cacheable:
+            cached = _UNPACK_CACHE.get(bytes(data[:offset]))
+            if cached is not None:
+                return cached, data[offset:]
         dst, src, ethertype = _HDR.unpack_from(data)
         vlan = None
         pcp = 0
-        offset = cls.HEADER_LEN
-        if ethertype == ETHERTYPE_VLAN:
-            if len(data) < cls.VLAN_HEADER_LEN:
-                raise ValueError("frame too short for 802.1Q tag")
+        if tagged:
             tci, ethertype = _VLAN_TCI.unpack_from(data, cls.HEADER_LEN)
             vlan = tci & 0x0FFF
             pcp = tci >> 13
-            offset = cls.VLAN_HEADER_LEN
         header = cls(
             dst=MacAddress(dst),
             src=MacAddress(src),
@@ -115,4 +139,8 @@ class EthernetHeader:
             vlan=vlan,
             vlan_pcp=pcp,
         )
+        if cacheable:
+            if len(_UNPACK_CACHE) >= _CACHE_MAX:
+                _UNPACK_CACHE.clear()
+            _UNPACK_CACHE[bytes(data[:offset])] = header
         return header, data[offset:]

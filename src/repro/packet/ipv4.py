@@ -11,7 +11,11 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.packet.checksum import internet_checksum, verify_checksum
+from repro.packet.checksum import (
+    incremental_update,
+    internet_checksum,
+    verify_checksum,
+)
 
 IPPROTO_TCP = 6
 IPPROTO_UDP = 17
@@ -19,6 +23,16 @@ IPPROTO_IPIP = 4
 
 _FIXED = struct.Struct("!BBHHHBBH4s4s")
 FIXED_HEADER_LEN = 20
+
+# Codec caches.  Headers repeat heavily inside a simulation (same flows,
+# same sizes), so pack() keeps a per-field-tuple template with its
+# checksum precomputed at identification=0 and patches the id in with an
+# RFC 1624 incremental update, and unpack() memoises fully validated
+# header blobs.  Both caches are bounded and cleared wholesale when full;
+# hits and misses are behaviour-identical, only faster.
+_PACK_TEMPLATES: dict[tuple, tuple[bytes, int]] = {}
+_UNPACK_CACHE: dict[bytes, "IPv4Header"] = {}
+_CACHE_MAX = 4096
 
 
 class IPv4Address:
@@ -105,24 +119,48 @@ class IPv4Header:
         return self.total_length - self.header_len
 
     def pack(self) -> bytes:
-        """Serialise with a freshly computed header checksum."""
-        version_ihl = (4 << 4) | self.ihl
-        tos = (self.dscp << 2) | self.ecn
-        flags_frag = (self.flags << 13) | self.fragment_offset
-        without_csum = _FIXED.pack(
-            version_ihl,
-            tos,
-            self.total_length,
-            self.identification,
-            flags_frag,
-            self.ttl,
-            self.protocol,
-            0,
-            self.src.packed,
-            self.dst.packed,
-        ) + self.options
-        csum = internet_checksum(without_csum)
-        return without_csum[:10] + struct.pack("!H", csum) + without_csum[12:]
+        """Serialise with a freshly computed header checksum.
+
+        Uses a cached identification=0 template per distinct field
+        tuple and patches the identification (and its checksum delta,
+        via RFC 1624) in — bit-identical to packing from scratch.
+        """
+        key = (
+            int(self.src), int(self.dst), self.protocol,
+            self.total_length, self.ttl, self.dscp, self.ecn,
+            self.flags, self.fragment_offset, self.options,
+        )
+        template = _PACK_TEMPLATES.get(key)
+        if template is None:
+            version_ihl = (4 << 4) | self.ihl
+            tos = (self.dscp << 2) | self.ecn
+            flags_frag = (self.flags << 13) | self.fragment_offset
+            without_csum = _FIXED.pack(
+                version_ihl,
+                tos,
+                self.total_length,
+                0,
+                flags_frag,
+                self.ttl,
+                self.protocol,
+                0,
+                self.src.packed,
+                self.dst.packed,
+            ) + self.options
+            csum0 = internet_checksum(without_csum)
+            raw0 = without_csum[:10] + struct.pack("!H", csum0) \
+                + without_csum[12:]
+            if len(_PACK_TEMPLATES) >= _CACHE_MAX:
+                _PACK_TEMPLATES.clear()
+            template = _PACK_TEMPLATES[key] = (raw0, csum0)
+        raw0, csum0 = template
+        ident = self.identification
+        if not ident:
+            return raw0
+        ident_bytes = struct.pack("!H", ident)
+        csum = incremental_update(csum0, b"\x00\x00", ident_bytes)
+        return raw0[:4] + ident_bytes + raw0[6:10] \
+            + struct.pack("!H", csum) + raw0[12:]
 
     @classmethod
     def unpack(cls, data: bytes) -> tuple["IPv4Header", bytes]:
@@ -133,6 +171,23 @@ class IPv4Header:
         """
         if len(data) < FIXED_HEADER_LEN:
             raise ValueError(f"too short for IPv4: {len(data)}")
+        cacheable = cls is IPv4Header
+        if cacheable:
+            # Fast path: this exact (already validated) header blob.
+            # Only the length checks depend on the rest of the buffer,
+            # so they are the one thing re-done per call.
+            quick_len = (data[0] & 0xF) * 4
+            if data[0] >> 4 == 4 and \
+                    FIXED_HEADER_LEN <= quick_len <= len(data):
+                cached = _UNPACK_CACHE.get(bytes(data[:quick_len]))
+                if cached is not None:
+                    total_length = cached.total_length
+                    if total_length < quick_len or total_length > len(data):
+                        raise ValueError(
+                            f"bad total_length {total_length} "
+                            f"(have {len(data)})"
+                        )
+                    return cached, data[quick_len:total_length]
         (version_ihl, tos, total_length, ident, flags_frag,
          ttl, protocol, _csum, src, dst) = _FIXED.unpack_from(data)
         version = version_ihl >> 4
@@ -160,6 +215,12 @@ class IPv4Header:
             fragment_offset=flags_frag & 0x1FFF,
             options=bytes(data[FIXED_HEADER_LEN:header_len]),
         )
+        if cacheable:
+            # Parsed headers are never mutated in place (replies build
+            # fresh ones), so sharing one instance per blob is safe.
+            if len(_UNPACK_CACHE) >= _CACHE_MAX:
+                _UNPACK_CACHE.clear()
+            _UNPACK_CACHE[bytes(data[:header_len])] = header
         return header, data[header_len:total_length]
 
     def pseudo_header(self, l4_length: int) -> bytes:

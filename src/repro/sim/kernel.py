@@ -230,6 +230,7 @@ class CycleSimulator:
 
     def __init__(self, tracer=None, kernel: str = "scheduled",
                  mesh_backend: str = "object",
+                 tile_backend: str = "object",
                  saturation_threshold: float | None = None,
                  prune_interval: int | None = None):
         from repro.telemetry.trace import NULL_TRACER
@@ -239,6 +240,9 @@ class CycleSimulator:
         if mesh_backend not in ("object", "flat"):
             raise ValueError(f"unknown mesh backend {mesh_backend!r} "
                              "(choose 'object' or 'flat')")
+        if tile_backend not in ("object", "flat"):
+            raise ValueError(f"unknown tile backend {tile_backend!r} "
+                             "(choose 'object' or 'flat')")
         if saturation_threshold is not None and saturation_threshold < 0:
             raise ValueError("saturation_threshold must be >= 0 "
                              "(fractions > 1 disable the bypass)")
@@ -246,9 +250,11 @@ class CycleSimulator:
             raise ValueError("prune_interval must be >= 1 cycle")
         self.cycle = 0
         self.kernel = kernel
-        # Advisory: design constructors thread their mesh backend
-        # through here (mirroring kernel=) so harnesses can consult it.
+        # Advisory: design constructors thread their mesh and tile
+        # backends through here (mirroring kernel=) so harnesses,
+        # telemetry, and bench reports can consult them.
         self.mesh_backend = mesh_backend
+        self.tile_backend = tile_backend
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._components: list[ClockedComponent] = []
         self._fifos: list[StagedFifo] = []

@@ -118,6 +118,14 @@ class HostProfiler:
             for port in getattr(mesh, "ports", {}).values():
                 self._patch(port, "step", "noc.localport.step")
 
+        # Under the flat tile backend the core's batch step absorbs the
+        # fast tiles' pump bodies, so their host time lands in the
+        # ``tiles_flat`` bucket; object-mode tiles (and every tile
+        # under the object backend) still hit the per-tile patches.
+        tile_core = getattr(design, "tile_core", None)
+        if tile_core is not None:
+            self._patch(tile_core, "step", "tiles_flat")
+
         tiles = design.tiles
         if isinstance(tiles, dict):
             tiles = tiles.values()
@@ -137,6 +145,9 @@ class HostProfiler:
         instances, so the patch is process-wide while installed.
         """
         from repro.packet import builder, checksum
+        from repro.packet import ipv4 as ipv4_mod
+        from repro.packet import tcp as tcp_mod
+        from repro.packet import udp as udp_mod
         from repro.packet.ethernet import EthernetHeader
         from repro.packet.ipv4 import IPv4Header
         from repro.packet.tcp import TcpHeader
@@ -145,12 +156,20 @@ class HostProfiler:
         self._patch(builder, "parse_frame", "packet.codec", instance=False)
         self._patch(builder, "build_ipv4_udp_frame", "packet.codec",
                     instance=False)
-        self._patch(checksum, "internet_checksum", "packet.codec",
-                    instance=False)
+        # The header modules import ``internet_checksum`` by value, so
+        # each consumer module needs its own patch — wrapping only the
+        # defining module would miss every call the headers make.
+        for module in (checksum, ipv4_mod, udp_mod, tcp_mod):
+            self._patch(module, "internet_checksum", "packet.codec",
+                        instance=False)
+        # Patch plain methods only: ``unpack`` is a classmethod, and
+        # re-setting a captured bound classmethod on restore would
+        # break the descriptor for subclasses.
         for header_cls in (EthernetHeader, IPv4Header, UdpHeader, TcpHeader):
-            for method in ("pack", "parse"):
-                self._patch(header_cls, method, "packet.codec",
-                            instance=False)
+            self._patch(header_cls, "pack", "packet.codec", instance=False)
+        for header_cls in (UdpHeader, TcpHeader):
+            self._patch(header_cls, "pack_with_checksum", "packet.codec",
+                        instance=False)
 
     def uninstall(self) -> None:
         """Restore every patched call site (idempotent).

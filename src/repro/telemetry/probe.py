@@ -78,6 +78,11 @@ class Probe(Wakeable):
         self.series = SnapshotSeries(
             interval=interval,
             design=design_name or type(design).__name__,
+            meta={
+                "kernel": design.sim.kernel,
+                "mesh_backend": design.sim.mesh_backend,
+                "tile_backend": design.sim.tile_backend,
+            },
         )
         self.samples_taken = 0
         self._next = design.sim.cycle + interval
@@ -198,6 +203,19 @@ class Probe(Wakeable):
                        "routers with (possible) work this cycle"
                        ).set(busy_routers)
 
+        # Busy-tile population: the flat tile core's busy-mask
+        # popcount, or the object backend's non-idle count.
+        tile_core = getattr(design, "tile_core", None)
+        if tile_core is not None:
+            busy_tiles = tile_core.busy_tiles
+        else:
+            busy_tiles = sum(
+                1 for tile in _iter_tiles(design)
+                if hasattr(tile, "is_idle") and not tile.is_idle())
+        registry.gauge("tiles.busy",
+                       "tiles with (possible) work this cycle"
+                       ).set(busy_tiles)
+
         # Tiles: depths, high-water marks, counter deltas.
         tiles: dict[str, dict] = {}
         depth_hist = registry.histogram(
@@ -264,6 +282,7 @@ class Probe(Wakeable):
             "kernel": kernel,
             "links": dict(sorted(links.items())),
             "busy_routers": busy_routers,
+            "busy_tiles": busy_tiles,
             "total_flits": total_flits,
             "tiles": tiles,
             "latency": latency,

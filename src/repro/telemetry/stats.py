@@ -80,9 +80,18 @@ def design_counters(design) -> dict:
         if inputs:
             router_high_water[coord] = max(
                 getattr(fifo, "high_water", 0) for fifo in inputs.values())
+    tile_kinds: dict[str, int] = {}
+    for tile in tiles:
+        tile_kinds[tile.kind] = tile_kinds.get(tile.kind, 0) + 1
     counters = {
         "cycle": design.sim.cycle,
+        "backends": {
+            "kernel": getattr(design.sim, "kernel", "naive"),
+            "mesh": getattr(design.sim, "mesh_backend", "object"),
+            "tile": getattr(design.sim, "tile_backend", "object"),
+        },
         "tiles": tiles,
+        "tile_kinds": dict(sorted(tile_kinds.items())),
         "router_flits": routers,
         "router_input_high_water": router_high_water,
         "total_flits": design.mesh.total_flits_forwarded,
@@ -144,7 +153,13 @@ def design_report(design, metrics=None) -> str:
     design ran with; when given, the windowed time-series is appended.
     """
     counters = design_counters(design)
+    backends = counters["backends"]
+    kinds = ", ".join(f"{kind} x{count}"
+                      for kind, count in counters["tile_kinds"].items())
     lines = [f"design state at cycle {counters['cycle']}",
+             f"backends: kernel={backends['kernel']} "
+             f"mesh={backends['mesh']} tile={backends['tile']}",
+             f"tile kinds: {kinds}",
              f"{'tile':<14} {'kind':<14} {'coord':<8} "
              f"{'msgs in':>8} {'msgs out':>9} {'bytes in':>10} "
              f"{'bytes out':>10} {'drops':>6} {'ej hwm':>6} {'tx hwm':>6}"]

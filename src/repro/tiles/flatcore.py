@@ -1,0 +1,435 @@
+"""Flat tile engine: batch-step a design's tiles as one kernel component.
+
+``repro.noc.flatmesh`` showed the shape: replace N scheduled Python
+objects with one array-of-struct core that keeps a busy bitmask, steps
+only the members with work, and preserves the object API through
+read-only views.  :class:`FlatTileCore` applies the same recipe to the
+tile layer — under the object backend every tile is its own schedule
+entry paying kernel dispatch, contract checks, and two ``_pump_*``
+method calls per cycle; under the flat backend the whole protocol
+pipeline is one entry whose step inlines the pump bodies for tiles in
+the busy mask only.
+
+Correctness contract
+--------------------
+
+The core replicates :class:`repro.tiles.base.Tile` semantics *exactly*
+(same guard order, same counter updates, same tracer events in the same
+within-cycle order) so the differential equivalence suite holds
+bit-identically across ``tile_backend="object"|"flat"``:
+
+- Tiles stay the source of truth for all mutable state (``_rx_ready``,
+  ``_in_service``, ``_buffered_flits``, counters, ...).  The core owns
+  only scheduling state: the busy bitmask, per-tile armed deadlines,
+  and a timer heap.  Telemetry (``design_counters``, the probe) and the
+  fault engine keep reading and mutating tiles directly.
+- Adoption order is registration order, and the busy mask is iterated
+  LSB-first, so trace events appear in the same order as the object
+  backend's per-tile stepping.
+- A tile whose class overrides any engine-internal hook (``on_cycle``,
+  ``_pump_process``, ...) falls back to *object mode*: the core calls
+  its ``step``/``is_idle``/``next_event_cycle`` methods instead of the
+  inlined fast path, so application tiles (VR, RS, TCP engines, the
+  load balancer) keep working unchanged.  ``handle_message``,
+  ``service_cycles``, ``send`` and ``drop`` are always dispatched
+  through the instance, so subclass hooks and instance-level patches
+  (``hostprof``) fire under both modes.
+- Each adopted tile gets a ``_kernel_wake`` hook that sets its busy bit
+  (and wakes the core), and the core registers the tiles' ejection
+  FIFOs as its own ``wake_sources`` — so frame injection, router
+  ejection, and fault thaw re-activate exactly the tiles they touch,
+  under both the scheduled and naive kernels.
+
+Scheduling contract (``repro.sim.kernel``): the core reports
+``kernel_weight`` equal to the tile count it replaces, lists the tiles
+as ``kernel_substeps()`` so the linter treats them as
+registered-by-proxy, and implements ``is_idle``/``next_event_cycle``
+over its own busy mask and timer heap — mirroring, tile by tile, what
+the kernel would have computed for individually registered tiles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.noc.flit import FlitKind
+from repro.noc.message import next_packet_id
+from repro.sim.kernel import CycleSimulator, Wakeable
+from repro.tiles.base import Tile
+
+_DATA = FlitKind.DATA
+
+# A tile class is eligible for the inlined fast path only if it leaves
+# every engine-internal hook untouched.  ``handle_message`` /
+# ``service_cycles`` / ``send`` / ``drop`` are instance-dispatched in
+# both modes, so overriding them does not disqualify a class.
+_ENGINE_HOOKS = (
+    "step", "commit", "on_cycle", "is_idle", "next_event_cycle",
+    "wake_sources", "_pump_eject", "_pump_process", "_begin_service",
+    "_finish_service",
+)
+_FAST_CLASS_CACHE: dict[type, bool] = {}
+
+
+def _class_is_fast(cls: type) -> bool:
+    fast = _FAST_CLASS_CACHE.get(cls)
+    if fast is None:
+        fast = all(
+            getattr(cls, hook) is getattr(Tile, hook)
+            for hook in _ENGINE_HOOKS
+        )
+        _FAST_CLASS_CACHE[cls] = fast
+    return fast
+
+
+class FlatTileView:
+    """Read-only per-tile window into a :class:`FlatTileCore`.
+
+    The adapter the dashboards/probe use to see core-side scheduling
+    state (busy bit, armed deadline, dispatch mode) next to the
+    tile-side queue state — same pattern as ``flatmesh.FlatRouterView``.
+    """
+
+    __slots__ = ("_core", "index")
+
+    def __init__(self, core: FlatTileCore, index: int):
+        self._core = core
+        self.index = index
+
+    @property
+    def tile(self) -> Tile:
+        return self._core.tiles[self.index]
+
+    @property
+    def name(self) -> str:
+        return self.tile.name
+
+    @property
+    def kind(self) -> str:
+        return getattr(self.tile, "KIND", "generic")
+
+    @property
+    def busy(self) -> bool:
+        return bool((self._core._busy >> self.index) & 1)
+
+    @property
+    def mode(self) -> str:
+        """``"fast"`` (inlined pumps) or ``"object"`` (delegated step)."""
+        return "fast" if self._core._fast[self.index] else "object"
+
+    @property
+    def armed_deadline(self) -> int | None:
+        deadline = self._core._deadlines[self.index]
+        return None if deadline < 0 else deadline
+
+    @property
+    def rx_depth(self) -> int:
+        return len(self.tile._rx_ready)
+
+    @property
+    def eject_depth(self) -> int:
+        return len(self.tile.port.eject_fifo)
+
+    def __repr__(self) -> str:
+        return (f"FlatTileView({self.name!r}, kind={self.kind!r}, "
+                f"mode={self.mode!r}, busy={self.busy})")
+
+
+class FlatTileCore(Wakeable):
+    """Array-of-struct engine batch-stepping a design's tiles.
+
+    Build with :func:`register_tiles` (or ``adopt`` tiles manually,
+    then ``sim.add(core)``).  The core is one clocked component; the
+    adopted tiles must *not* also be registered with the simulator —
+    the linter's BHV106 flags that double-step.
+    """
+
+    def __init__(self, name: str = "flattiles"):
+        self.name = name
+        self.tiles: list[Tile] = []
+        self._fast: list[bool] = []
+        # True where the class keeps Tile.service_cycles — the pickup
+        # inlines the default instead of a method call.
+        self._default_service: list[bool] = []
+        self._ports: list = []
+        self._ejects: list = []
+        self._assemblers: list = []
+        # Per-tile hot-path record, indexed by tile bit:
+        # (tile, port, eject_fifo, assembler, fast, default_service) —
+        # one list lookup per busy tile per cycle instead of six.
+        self._fabric: list[tuple] = []
+        # Scheduling state: busy bitmask (bit i == tiles[i] must step),
+        # per-tile armed deadline (-1 when unarmed), timer heap of
+        # (deadline, index) with lazy invalidation — the same shape the
+        # kernel uses for individually registered components.
+        self._busy = 0
+        self._deadlines: list[int] = []
+        self._timers: list[tuple[int, int]] = []
+        self._index_of: dict[str, int] = {}
+        self.by_kind: dict[str, list[int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def adopt(self, tile: Tile) -> int:
+        """Take over stepping for ``tile``; returns its index."""
+        if not isinstance(tile, Tile):
+            raise TypeError(f"FlatTileCore can only adopt Tiles, "
+                            f"got {type(tile).__name__}")
+        index = len(self.tiles)
+        bit = 1 << index
+        self.tiles.append(tile)
+        cls = type(tile)
+        self._fast.append(_class_is_fast(cls))
+        self._default_service.append(
+            cls.service_cycles is Tile.service_cycles)
+        self._ports.append(tile.port)
+        self._ejects.append(tile.port.eject_fifo)
+        self._assemblers.append(tile.port._assembler)
+        self._fabric.append((
+            tile, tile.port, tile.port.eject_fifo,
+            tile.port._assembler, self._fast[index],
+            self._default_service[index],
+        ))
+        self._deadlines.append(-1)
+        self._busy |= bit
+        self._index_of[tile.name] = index
+        self.by_kind.setdefault(getattr(cls, "KIND", "generic"),
+                                []).append(index)
+
+        def hook(core=self, bit=bit):
+            # Fires on every ejected flit at saturation; the early exit
+            # skips the kernel wake when the bit is already set (a set
+            # bit means the core is not idle, so it is still scheduled).
+            busy = core._busy
+            if busy & bit:
+                return
+            core._busy = busy | bit
+            waker = core._kernel_wake
+            if waker is not None:
+                waker()
+
+        # The tile-side wake hook: push_frame/send/fault-thaw call
+        # tile._wake(), the router's ejection lands in the FIFO — both
+        # must set the busy bit whether or not the kernel ever wired a
+        # waker of its own (it doesn't, under the naive kernel).
+        tile._kernel_wake = hook
+        tile.port.eject_fifo.add_waker(hook)
+        return index
+
+    # -- views --------------------------------------------------------------
+
+    def view(self, tile_or_name) -> FlatTileView:
+        if isinstance(tile_or_name, str):
+            index = self._index_of[tile_or_name]
+        else:
+            index = self.tiles.index(tile_or_name)
+        return FlatTileView(self, index)
+
+    def views(self) -> list[FlatTileView]:
+        return [FlatTileView(self, i) for i in range(len(self.tiles))]
+
+    @property
+    def busy_tiles(self) -> int:
+        """Population count of the busy mask (telemetry gauge)."""
+        return self._busy.bit_count()
+
+    # -- clocked behaviour --------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        timers = self._timers
+        if timers and timers[0][0] <= cycle:
+            deadlines = self._deadlines
+            while timers and timers[0][0] <= cycle:
+                deadline, index = heapq.heappop(timers)
+                if deadlines[index] == deadline:
+                    deadlines[index] = -1
+                    self._busy |= 1 << index
+        mask = self._busy
+        if not mask:
+            return
+        fabric = self._fabric
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            i = low.bit_length() - 1
+            t, port, eject, assembler, is_fast, has_default_service = \
+                fabric[i]
+            if t._fault_frozen:
+                continue  # clock gated; stays busy (pinned, like is_idle)
+            if not is_fast:
+                t.step(cycle)
+                if t.is_idle():
+                    self._busy &= ~low
+                    deadline = t.next_event_cycle()
+                    if deadline is not None:
+                        self._arm(i, deadline, cycle)
+                continue
+            # Inlined Tile.step for engine-default tiles: on_cycle is
+            # the base no-op, then _pump_eject / _pump_process with the
+            # exact guard order and tracer calls of tiles/base.py.
+            if eject._items and not port.fault_stalled and \
+                    (t._buffered_flits < t.buffer_flits or
+                     assembler._active):
+                # ``LocalPort.receive`` inlined (its fault_stalled and
+                # empty-FIFO checks are the guards above): pop one
+                # flit, fault-filter it, feed the reassembler.
+                t._buffered_flits += 1
+                flit = eject._items.popleft()
+                fault_eject = port._fault_eject
+                if fault_eject is not None:
+                    flit = fault_eject.filter(flit)
+                # Body-DATA flits are ~22 of every 24 at MTU: append
+                # the chunk directly and skip the assembler call.
+                if (not flit.is_tail and not flit.is_head
+                        and flit.kind is _DATA
+                        and flit.msg_id == assembler._msg_id
+                        and assembler._active):
+                    assembler._chunks.append(bytes(flit.payload or b""))
+                    message = None
+                else:
+                    message = assembler.push(flit)
+                if message is not None:
+                    port.messages_received += 1
+                    t._rx_ready.append((cycle, message))
+                    tracer = t.tracer
+                    if tracer.enabled:
+                        tracer.message_received(cycle, t, message)
+                        tracer.buffer_level(cycle, t, t._buffered_flits)
+            in_service = t._in_service
+            if in_service is not None and cycle >= t._emit_at:
+                t.messages_in += 1
+                t.bytes_in += len(in_service.data)
+                buffered = t._buffered_flits - in_service.n_flits
+                t._buffered_flits = buffered if buffered > 0 else 0
+                if in_service.packet_id is None:
+                    in_service.packet_id = next_packet_id()
+                t._service_ctx = (in_service, cycle)
+                sent_before = t.messages_out
+                try:
+                    outputs = t.handle_message(in_service, cycle)
+                    for out in outputs or []:
+                        t.send(out)
+                finally:
+                    t._service_ctx = None
+                tracer = t.tracer
+                if tracer.enabled:
+                    tracer.processing_end(cycle, t, in_service,
+                                          t.messages_out - sent_before)
+                    tracer.buffer_level(cycle, t, t._buffered_flits)
+                t._in_service = in_service = None
+            rx = t._rx_ready
+            if (in_service is None and rx and rx[0][0] <= cycle
+                    and cycle >= t._engine_free
+                    and port.tx_backlog < t.max_tx_backlog):
+                message = rx.popleft()[1]
+                if has_default_service:
+                    n_flits = message.n_flits
+                    occupancy = t.occupancy
+                    busy_cycles = (n_flits if n_flits > occupancy
+                                   else occupancy)
+                else:
+                    busy_cycles = t.service_cycles(message)
+                t._in_service = message
+                parse_latency = t.parse_latency
+                t._emit_at = cycle + (parse_latency if parse_latency > 1
+                                      else 1)
+                t._engine_free = cycle + busy_cycles
+                tracer = t.tracer
+                if tracer.enabled:
+                    tracer.processing_start(cycle, t, message)
+            # Inlined Tile.is_idle + next_event_cycle, mirroring the
+            # kernel's post-step reschedule for the object backend.
+            if eject._items or eject._staged:
+                continue  # flits to pump (or a full buffer to poll)
+            if t._in_service is not None:
+                self._busy &= ~low
+                self._arm(i, t._emit_at, cycle)
+                continue
+            if rx:
+                if port.tx_backlog < t.max_tx_backlog:
+                    tail_cycle = rx[0][0]
+                    engine_free = t._engine_free
+                    self._busy &= ~low
+                    self._arm(i,
+                              tail_cycle if tail_cycle > engine_free
+                              else engine_free, cycle)
+                # else: blocked injection — only port progress (not a
+                # wake) unblocks it, so the bit stays set for polling.
+                continue
+            self._busy &= ~low
+
+    def commit(self) -> None:
+        pass  # tile FIFOs are committed by their mesh/port owners
+
+    def _arm(self, index: int, deadline: int, cycle: int) -> None:
+        if deadline <= cycle:
+            deadline = cycle + 1
+        armed = self._deadlines[index]
+        if armed != -1 and armed <= deadline:
+            return  # an equal-or-earlier (safe) wake is already queued
+        self._deadlines[index] = deadline
+        heapq.heappush(self._timers, (deadline, index))
+
+    # -- quiescence contract (see repro.sim.kernel) -------------------------
+
+    @property
+    def kernel_weight(self) -> int:
+        """Effective design size: the schedule entries this replaces."""
+        return max(1, len(self.tiles))
+
+    def kernel_substeps(self) -> list:
+        """The components this core steps on the kernel's behalf."""
+        return list(self.tiles)
+
+    def wake_sources(self):
+        """Ejections into any adopted tile re-activate the core."""
+        return list(self._ejects)
+
+    def lint_consumed_fifos(self):
+        """FIFOs the core itself pops (via the inlined eject pump)."""
+        return list(self._ejects)
+
+    def is_idle(self) -> bool:
+        return not self._busy
+
+    def next_event_cycle(self) -> int | None:
+        timers = self._timers
+        deadlines = self._deadlines
+        while timers and deadlines[timers[0][1]] != timers[0][0]:
+            heapq.heappop(timers)  # lazily drop superseded entries
+        if timers:
+            return timers[0][0]
+        return None
+
+    def __repr__(self) -> str:
+        return (f"FlatTileCore({self.name!r}, tiles={len(self.tiles)}, "
+                f"busy={self.busy_tiles})")
+
+
+def register_tiles(sim: CycleSimulator, tiles,
+                   tile_backend: str = "object") -> FlatTileCore | None:
+    """Register a design's tiles with ``sim`` under a tile backend.
+
+    ``"object"``: every tile is its own scheduled component (the
+    classic ``sim.add_all``).  ``"flat"``: all tiles are adopted into
+    one :class:`FlatTileCore` registered in their place — same
+    registration slot, so within-cycle step order (and therefore every
+    trace stream) is preserved bit-identically.
+
+    Returns the core under ``"flat"``, None under ``"object"``; design
+    constructors store it as ``self.tile_core``.
+    """
+    if tile_backend not in ("object", "flat"):
+        raise ValueError(f"unknown tile backend {tile_backend!r} "
+                         "(choose 'object' or 'flat')")
+    sequence: Iterable[Tile] = (
+        tiles.values() if isinstance(tiles, dict) else tiles)
+    if tile_backend == "object":
+        sim.add_all(sequence)
+        return None
+    core = FlatTileCore()
+    for tile in sequence:
+        core.adopt(tile)
+    sim.add(core)
+    return core

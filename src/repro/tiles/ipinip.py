@@ -33,6 +33,11 @@ class IpInIpEncapTile(Tile):
         self.next_hop = NextHopTable(name=f"{name}.nexthop")
         self.encapsulated = 0
         self.misses = 0
+        # Outer headers repeat per (endpoint, size): keep one immutable
+        # instance each so the downstream IP TX pack hits the template
+        # cache (checksum patched incrementally) instead of rebuilding
+        # and re-summing the header for every packet.
+        self._outer_cache: dict[tuple[IPv4Address, int], IPv4Header] = {}
 
     def set_endpoint(self, virtual_dst: IPv4Address,
                      physical_dst: IPv4Address) -> None:
@@ -46,12 +51,17 @@ class IpInIpEncapTile(Tile):
         if physical is None:
             self.misses += 1
             return self.drop(message, f"no tunnel for {meta.ip.dst}")
-        outer = IPv4Header(
-            src=self.tunnel_src,
-            dst=physical,
-            protocol=IPPROTO_IPIP,
-            total_length=20 + len(message.data),
-        )
+        outer = self._outer_cache.get((physical, len(message.data)))
+        if outer is None:
+            outer = IPv4Header(
+                src=self.tunnel_src,
+                dst=physical,
+                protocol=IPPROTO_IPIP,
+                total_length=20 + len(message.data),
+            )
+            if len(self._outer_cache) >= 1024:
+                self._outer_cache.clear()
+            self._outer_cache[(physical, len(message.data))] = outer
         meta = meta.clone()
         meta.outer_ip = meta.ip
         meta.ip = outer

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.noc.mesh import Mesh
 from repro.noc.message import NocMessage
+from repro.packet.checksum import incremental_update
 from repro.packet.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Address, IPv4Header
 from repro.packet.tcp import TcpHeader
 from repro.packet.udp import UdpHeader
@@ -45,21 +46,44 @@ class NatTable:
         return len(self._virt_to_phys)
 
 
-def rewrite_l4_checksum(data: bytes, new_ip: IPv4Header) -> bytes:
-    """Recompute the UDP/TCP checksum inside ``data`` for new IPs.
+def rewrite_l4_checksum(data: bytes, new_ip: IPv4Header,
+                        old_ip: IPv4Header | None = None) -> bytes:
+    """Patch the UDP/TCP checksum inside ``data`` for new IPs.
 
     ``data`` is an L4 segment (the NAT tiles sit between IP RX and the
     L4 layer, so the IP header is already in metadata).  Address
-    rewriting invalidates the pseudo-header checksum; hardware NATs
-    apply an incremental update — functionally identical to recomputing.
+    rewriting invalidates the pseudo-header checksum; like a hardware
+    NAT, when ``old_ip`` is given the existing checksum is patched with
+    an RFC 1624 incremental update over just the changed address words
+    — no pass over the payload.  Without ``old_ip`` (or when the
+    datagram carries no checksum to patch) the checksum is recomputed
+    from scratch over the new pseudo-header.
     """
     if new_ip.protocol == IPPROTO_UDP:
         udp, payload = UdpHeader.unpack(data)
-        fixed = udp.pack_with_checksum(new_ip.pseudo_header(udp.length),
-                                       payload)
+        if old_ip is not None and udp.checksum != 0:
+            csum = incremental_update(
+                udp.checksum,
+                old_ip.src.packed + old_ip.dst.packed,
+                new_ip.src.packed + new_ip.dst.packed,
+            )
+            if csum == 0:
+                csum = 0xFFFF  # RFC 768: transmitted 0 means "no checksum"
+            udp.checksum = csum
+            fixed = udp.pack()
+        else:
+            fixed = udp.pack_with_checksum(new_ip.pseudo_header(udp.length),
+                                           payload)
         return fixed + data[len(fixed):]
     if new_ip.protocol == IPPROTO_TCP:
         tcp, payload = TcpHeader.unpack(data)
+        if old_ip is not None:
+            tcp.checksum = incremental_update(
+                tcp.checksum,
+                old_ip.src.packed + old_ip.dst.packed,
+                new_ip.src.packed + new_ip.dst.packed,
+            )
+            return tcp.pack() + payload
         fixed = tcp.pack_with_checksum(
             new_ip.pseudo_header(tcp.header_len + len(payload)), payload
         )
@@ -99,14 +123,15 @@ class NatRxTile(_NatTileBase):
         if virtual is None:
             self.misses += 1
             return self._forward(message, meta, message.data)
+        old_ip = meta.ip
         meta = meta.clone()
         meta.ip = IPv4Header(
-            src=virtual, dst=meta.ip.dst, protocol=meta.ip.protocol,
-            total_length=meta.ip.total_length, ttl=meta.ip.ttl,
-            identification=meta.ip.identification,
+            src=virtual, dst=old_ip.dst, protocol=old_ip.protocol,
+            total_length=old_ip.total_length, ttl=old_ip.ttl,
+            identification=old_ip.identification,
         )
         self.translations += 1
-        data = rewrite_l4_checksum(message.data, meta.ip)
+        data = rewrite_l4_checksum(message.data, meta.ip, old_ip=old_ip)
         return self._forward(message, meta, data)
 
 
@@ -123,12 +148,13 @@ class NatTxTile(_NatTileBase):
         if physical is None:
             self.misses += 1
             return self._forward(message, meta, message.data)
+        old_ip = meta.ip
         meta = meta.clone()
         meta.ip = IPv4Header(
-            src=meta.ip.src, dst=physical, protocol=meta.ip.protocol,
-            total_length=meta.ip.total_length, ttl=meta.ip.ttl,
-            identification=meta.ip.identification,
+            src=old_ip.src, dst=physical, protocol=old_ip.protocol,
+            total_length=old_ip.total_length, ttl=old_ip.ttl,
+            identification=old_ip.identification,
         )
         self.translations += 1
-        data = rewrite_l4_checksum(message.data, meta.ip)
+        data = rewrite_l4_checksum(message.data, meta.ip, old_ip=old_ip)
         return self._forward(message, meta, data)

@@ -36,8 +36,11 @@ SCHEMA = "repro.bench/1"
 #: Substrings marking a metric where bigger is better.
 HIGHER_BETTER = ("gbps", "goodput", "speedup", "throughput", "rate",
                  "frames", "kreq", "per_sec", "ops", "echoed", "count")
-#: Substrings marking a metric where smaller is better.
-LOWER_BETTER = ("wall", "seconds", "_s", "latency", "p50", "p99",
+#: Substrings marking a metric where smaller is better.  The seconds
+#: suffix is matched at the end only — ``_s`` *inside* a name (as in
+#: ``tiles_saturating.speedup`` or ``frames_sent``) says nothing
+#: about units.
+LOWER_BETTER = ("wall", "seconds", "latency", "p50", "p99",
                 "p999", "cycles", "rtt", "overhead", "drops", "loc")
 
 
@@ -48,7 +51,8 @@ def metric_direction(name: str) -> int:
     gating a timing as a throughput inverts the alarm.
     """
     lowered = name.lower()
-    if any(token in lowered for token in LOWER_BETTER):
+    if lowered.endswith("_s") or \
+            any(token in lowered for token in LOWER_BETTER):
         return -1
     if any(token in lowered for token in HIGHER_BETTER):
         return 1

@@ -1,12 +1,13 @@
 """Differential tests: the scheduled kernel must be cycle-exact.
 
 Every shipped design is driven with identical traffic under every
-(kernel, mesh backend) combination — ``kernel="naive"`` (the
-exhaustive reference scheduler) vs ``kernel="scheduled"`` (activity
-scheduling with idle-skip), crossed with ``mesh_backend="object"``
-(per-router/per-port components) vs ``mesh_backend="flat"`` (the
-array-of-struct batch core) — and the complete observable state is
-compared:
+(kernel, mesh backend, tile backend) combination — ``kernel="naive"``
+(the exhaustive reference scheduler) vs ``kernel="scheduled"``
+(activity scheduling with idle-skip), crossed with
+``mesh_backend="object"|"flat"`` (per-router components vs the
+array-of-struct batch core) and ``tile_backend="object"|"flat"``
+(per-tile schedule entries vs the flat tile engine) — and the
+complete observable state is compared:
 
 - per-tile counters (messages/bytes in and out, drops with reasons)
   and per-router flit counts;
@@ -50,12 +51,17 @@ from repro.telemetry.trace import Tracer, attach_tracer
 
 CLIENT_IP = IPv4Address("10.0.0.1")
 CLIENT_MAC = MacAddress("02:00:00:00:00:01")
-# (kernel, mesh_backend) — the first combo is the reference.
+# (kernel, mesh_backend, tile_backend) — the first combo is the
+# reference: exhaustive scheduler, per-object routers, per-object tiles.
 COMBOS = (
-    ("naive", "object"),
-    ("scheduled", "object"),
-    ("naive", "flat"),
-    ("scheduled", "flat"),
+    ("naive", "object", "object"),
+    ("scheduled", "object", "object"),
+    ("naive", "flat", "object"),
+    ("scheduled", "flat", "object"),
+    ("naive", "object", "flat"),
+    ("scheduled", "object", "flat"),
+    ("naive", "flat", "flat"),
+    ("scheduled", "flat", "flat"),
 )
 
 
@@ -83,7 +89,8 @@ def fingerprint(design, sink, tracer):
 
 
 def run_both(scenario):
-    """Run ``scenario(kernel, backend)`` under every combo, resetting
+    """Run ``scenario(kernel, backend, tiles)`` under every combo,
+    resetting
     the global id counters so packet/message ids (and the spans keyed
     by them) compare equal."""
     results = {}
@@ -103,7 +110,8 @@ def assert_equivalent(scenario):
         for key in reference:
             assert reference[key] == candidate[key], (
                 f"divergence in {key!r} under "
-                f"kernel={combo[0]!r} mesh_backend={combo[1]!r}"
+                f"kernel={combo[0]!r} mesh_backend={combo[1]!r} "
+                f"tile_backend={combo[2]!r}"
             )
 
 
@@ -118,11 +126,11 @@ class TestUdpEchoEquivalence:
         """10% line rate: mostly idle cycles — the idle-skip sweet
         spot, and exactly where a wrong wake would surface."""
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             frame = echo_frame(design, b"x" * 64)
@@ -141,11 +149,11 @@ class TestUdpEchoEquivalence:
         """Saturation: no idle cycles, contention and backpressure
         everywhere — checks the active-set path under load."""
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=None,
                                    kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             frame = echo_frame(design, b"y" * 256)
@@ -164,11 +172,11 @@ class TestUdpEchoEquivalence:
         """Bursts separated by thousand-cycle gaps: each gap is an
         idle-skip; each burst must land on the exact cycle."""
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -189,11 +197,11 @@ class TestUdpEchoEquivalence:
     def test_mixed_drops_and_misses(self):
         """Frames for the wrong port/MAC exercise the drop paths."""
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -211,11 +219,11 @@ class TestUdpEchoEquivalence:
 
 class TestLoggedEchoEquivalence:
     def test_logged_echo(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = LoggedUdpEchoDesign(udp_port=7,
                                          line_rate_bytes_per_cycle=50.0,
                                          kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -235,10 +243,10 @@ class TestTcpEquivalence:
         """A full TCP session: handshake, request/response transfer,
         retransmission timers — the richest timer workload we have."""
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = TcpServerDesign(tcp_port=5000, request_size=16,
                                      kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             peer = SoftTcpPeer(design, CLIENT_IP, CLIENT_MAC,
@@ -265,11 +273,11 @@ class TestVxlanEquivalence:
     INNER_MAC = MacAddress("02:aa:00:00:00:01")
 
     def test_overlay_echo(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = VxlanEchoDesign(vni=7700, udp_port=7,
                                      line_rate_bytes_per_cycle=50.0,
                                      kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_overlay_peer(self.INNER_IP, self.INNER_MAC,
                                     self.REMOTE_VTEP_IP,
                                     self.REMOTE_VTEP_MAC)
@@ -297,10 +305,10 @@ class TestVxlanEquivalence:
 
 class TestMultiStackEquivalence:
     def test_two_stacks_flow_spread(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = MultiStackDesign(stacks=2, udp_port=7,
                                       kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sinks = [FrameSink(stack.eth_tx)
@@ -324,11 +332,11 @@ class TestMultiStackEquivalence:
 
 class TestRsEquivalence:
     def test_round_robin_encode(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = RsDesign(instances=4,
                               line_rate_bytes_per_cycle=50.0,
                               kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -363,11 +371,11 @@ class TestVrEquivalence:
         )
 
     def test_witness_shards(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = VrWitnessDesign(shards=2,
                                      line_rate_bytes_per_cycle=50.0,
                                      kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(self.LEADER_IP, self.LEADER_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -387,10 +395,10 @@ class TestVrEquivalence:
 
 class TestScaledEchoEquivalence:
     def test_many_apps(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = ScaledEchoDesign(n_apps=8, udp_port=7,
                                       kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -412,11 +420,11 @@ class TestNatEquivalence:
     CLIENT_PHYS_IP = IPv4Address("10.0.0.1")
 
     def test_nat_echo(self):
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = NatEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.map_client(self.CLIENT_VIRT_IP,
                               self.CLIENT_PHYS_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
@@ -453,14 +461,14 @@ class TestFaultEquivalence:
     def test_wire_impairments(self):
         from repro.faults import FaultPlan
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             plan = FaultPlan(seed=0xD1CE).wire(
                 drop=0.2, corrupt=0.1, duplicate=0.15, reorder=0.2,
                 delay=0.3)
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel, mesh_backend=backend,
-                                   fault_plan=plan)
+                                   tile_backend=tiles, fault_plan=plan)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -477,7 +485,7 @@ class TestFaultEquivalence:
     def test_tile_and_noc_faults(self):
         from repro.faults import FaultPlan
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             plan = (FaultPlan(seed=0xD1CE)
                     .freeze_tile("app", at=300, duration=800)
                     .crash_tile("eth_rx", at=20, duration=100)
@@ -486,7 +494,7 @@ class TestFaultEquivalence:
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel, mesh_backend=backend,
-                                   fault_plan=plan)
+                                   tile_backend=tiles, fault_plan=plan)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             sink = FrameSink(design.eth_tx)
@@ -535,11 +543,11 @@ class TestProbedEquivalence:
     def _scenario(self, probed):
         from repro.telemetry import attach_probe
 
-        def scenario(kernel, backend):
+        def scenario(kernel, backend, tiles):
             design = UdpEchoDesign(udp_port=7,
                                    line_rate_bytes_per_cycle=50.0,
                                    kernel=kernel,
-                                   mesh_backend=backend)
+                                   mesh_backend=backend, tile_backend=tiles)
             design.add_client(CLIENT_IP, CLIENT_MAC)
             tracer = attach_tracer(design, Tracer())
             probe = attach_probe(design,
