@@ -1,0 +1,94 @@
+"""Sanitizer overhead: an unsanitized run must be exactly as fast.
+
+The sanitizer instruments the kernel through a *separate* entry point
+(``CycleSimulator.sanitized_tick``): the normal ``tick`` path carries
+no observer hooks, no fingerprinting, and no ledger reads.  This
+benchmark pins that contract the same way ``bench_fault_overhead``
+pins the dormant fault hooks:
+
+- a plain saturated MTU echo run reproduces the pre-PR goodput
+  baseline within 2% (cycle-deterministic, so in practice exactly);
+- a full ``analyze_dynamic`` sweep over the same design is timed
+  alongside for scale — the cost you opt into with ``--sanitize``.
+"""
+
+import time
+
+from repro.analysis import analyze_dynamic
+from repro.designs import (
+    FrameSink,
+    FrameSource,
+    GoodputMeter,
+    UdpEchoDesign,
+)
+from repro.packet import IPv4Address, MacAddress, build_ipv4_udp_frame
+
+CLIENT_IP = IPv4Address("10.0.0.1")
+CLIENT_MAC = MacAddress("02:00:00:00:00:01")
+
+CYCLES = 20_000
+SANITIZE_CYCLES = 2_000
+
+# MTU (1472 B payload) saturation goodput measured at the seed commit
+# (pre-PR), same configuration as bench_fig7_udp_goodput at 1472 B.
+PRE_PR_GOODPUT_GBPS = 113.230769
+
+
+def goodput_mtu() -> tuple[float, float]:
+    """(goodput Gbps, wall seconds) for one plain 20k-cycle run."""
+    design = UdpEchoDesign(line_rate_bytes_per_cycle=None)
+    design.add_client(CLIENT_IP, CLIENT_MAC)
+    payload = bytes(range(256)) * 5 + bytes(192)  # 1472 B
+    frame = build_ipv4_udp_frame(CLIENT_MAC, design.server_mac,
+                                 CLIENT_IP, design.server_ip, 5555,
+                                 design.udp_port, payload)
+    source = FrameSource(design.inject, lambda i: frame, rate=None)
+    sink = FrameSink(design.eth_tx, keep_frames=False)
+    meter = GoodputMeter(sink, warmup_frames=20)
+    design.sim.add(source)
+    design.sim.add(sink)
+    started = time.perf_counter()
+    for _ in range(CYCLES):
+        design.sim.tick()
+        meter.maybe_start()
+    wall = time.perf_counter() - started
+    return meter.goodput_gbps(), wall
+
+
+def sanitize_sweep() -> tuple[int, float]:
+    """(findings, wall seconds) for a default sanitizer sweep."""
+    started = time.perf_counter()
+    report = analyze_dynamic(UdpEchoDesign, name="udp_echo",
+                             cycles=SANITIZE_CYCLES)
+    wall = time.perf_counter() - started
+    assert report.findings == [], report.render()
+    return len(report.findings), wall
+
+
+def run_overhead():
+    off_gbps, off_wall = goodput_mtu()
+    _findings, sweep_wall = sanitize_sweep()
+    return off_gbps, off_wall, sweep_wall
+
+
+def bench_sanitize_overhead(benchmark, report):
+    off_gbps, off_wall, sweep_wall = benchmark.pedantic(
+        run_overhead, rounds=1, iterations=1)
+
+    report.table(
+        ["config", "goodput Gbps", "wall s", "cycles/s"],
+        [["plain run (no sanitizer)", off_gbps, off_wall,
+          CYCLES / off_wall]],
+    )
+    report.row()
+    report.row(f"pre-PR baseline: {PRE_PR_GOODPUT_GBPS:.3f} Gbps; "
+               f"delta "
+               f"{100 * abs(off_gbps - PRE_PR_GOODPUT_GBPS) / PRE_PR_GOODPUT_GBPS:.2f}%")
+    report.row(f"opt-in sanitizer sweep (4 passes, "
+               f"{SANITIZE_CYCLES} cycles x 3 runs): "
+               f"{sweep_wall:.2f} s, clean")
+
+    # Strictly opt-in: with no --sanitize there is no observer, no
+    # shadow stepping, and no ledger — the plain tick path reproduces
+    # the pre-PR goodput within 2% (deterministically, exactly).
+    assert abs(off_gbps - PRE_PR_GOODPUT_GBPS) / PRE_PR_GOODPUT_GBPS < 0.02

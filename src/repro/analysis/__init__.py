@@ -10,7 +10,15 @@ stalls.  This package is one finding pipeline for both:
   the *real* routing state: declared chains plus chains derived from
   the next-hop tables (BHV2xx);
 - :mod:`repro.analysis.wake` — quiescence/wake contract verification
-  against the scheduled kernel (BHV3xx).
+  against the scheduled kernel (BHV3xx);
+- :mod:`repro.analysis.dataflow` — destination-domain declarations vs
+  the runtime routing state, covering data-dependent routing (BHV5xx).
+
+A separate *dynamic* family, :mod:`repro.analysis.sanitize`, runs
+bounded instrumented simulations (BHV4xx: idle-truthfulness, lost
+wakeups, flit conservation, determinism) through the same finding
+pipeline — see :func:`repro.analysis.sanitize.analyze_dynamic` and
+``python -m repro.tools.lint --sanitize``.
 
 Entry points::
 
@@ -25,6 +33,9 @@ or, from a shell::
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
+from repro.analysis import dataflow as _dataflow_pass
 from repro.analysis import deadlock as _deadlock_pass
 from repro.analysis import structural as _structural_pass
 from repro.analysis import wake as _wake_pass
@@ -46,6 +57,7 @@ from repro.analysis.findings import (
     Finding,
 )
 from repro.analysis.model import DesignModel, extract
+from repro.analysis.sanitize import SANITIZE_PASSES, analyze_dynamic
 from repro.analysis.structural import lint_spec
 
 #: name -> pass callable (design-like -> list[Finding]), in run order.
@@ -53,11 +65,12 @@ PASSES = {
     "structural": _structural_pass.run,
     "deadlock": _deadlock_pass.run,
     "wake-contract": _wake_pass.run,
+    "dataflow": _dataflow_pass.run,
 }
 
 
-def analyze(design, *, name: str | None = None,
-            passes=None) -> AnalysisReport:
+def analyze(design: object, *, name: str | None = None,
+            passes: Iterable[str] | None = None) -> AnalysisReport:
     """Run the requested passes (default: all) over ``design``."""
     model = extract(design, name=name)
     selected = list(PASSES) if passes is None else list(passes)
@@ -77,6 +90,7 @@ __all__ = [
     "ERROR",
     "INFO",
     "PASSES",
+    "SANITIZE_PASSES",
     "WARNING",
     "AnalysisReport",
     "DeadlockError",
@@ -84,6 +98,7 @@ __all__ = [
     "Finding",
     "analyze",
     "analyze_chains",
+    "analyze_dynamic",
     "assert_deadlock_free",
     "build_dependency_graph",
     "chain_link_sequence",

@@ -1,0 +1,151 @@
+"""Data-flow routing analysis (BHV5xx).
+
+The structural pass (BHV1xx) checks the destinations it can *see*:
+``NextHopTable`` entries and the ``lint_dest_coords()`` hooks.  Tiles
+that compute destinations from packet data — the load balancer's flow
+hash, the round-robin scheduler, future RPC-dispatch tiles — are only
+as checkable as their declarations, which is the gap ROADMAP carried
+("the linter cannot see data-dependent routing beyond explicit
+``lint_dest_coords()`` hooks").
+
+This pass closes it with the typed
+:class:`repro.tiles.base.DestDomain` protocol: a tile declares the
+complete coordinate set it may ever address via ``dest_domain()``, and
+the pass joins that declaration against the tile's *real* routing
+state (table entries, replica/stack lists):
+
+- **BHV501** (error): a declared-domain coordinate with no tile
+  attached — data-dependent dispatch to it can never be routed (flits
+  would wedge in the router, same failure mode as BHV104, but visible
+  even before any table entry exists);
+- **BHV502** (warning): a declared-domain coordinate that no runtime
+  routing state can emit — a stale or speculative domain entry;
+- **BHV503** (error): a runtime destination *outside* the declared
+  domain — the declaration under-covers the reachable set, so every
+  consumer of the domain (placement, isolation, capacity checks) is
+  reasoning from a wrong map;
+- **BHV504** (warning): a tile that forwards traffic (it is
+  non-terminal in a declared chain) but has no statically derivable
+  destinations at all — the linter's data-dependent blind spot, made
+  visible instead of silent.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import Coord, DesignModel, extract
+from repro.tiles.base import DestDomain
+
+
+def domain_of(tile: object) -> DestDomain | None:
+    """The tile's declared destination domain, or None.
+
+    Accepts either a :class:`DestDomain` or any iterable of
+    coordinates from the ``dest_domain()`` hook (normalised with
+    :meth:`DestDomain.of`, marked data-dependent).
+    """
+    hook = getattr(tile, "dest_domain", None)
+    if not callable(hook):
+        return None
+    declared = hook()
+    if declared is None:
+        return None
+    if isinstance(declared, DestDomain):
+        return declared
+    return DestDomain.of(declared, data_dependent=True)
+
+
+def runtime_dests(tile: object) -> list[Coord]:
+    """Destinations derivable from the tile's *runtime* routing state:
+    the ``lint_dest_coords()`` hook (replica/stack lists) plus every
+    ``NextHopTable`` entry — deliberately excluding ``dest_domain()``,
+    which is the declaration this pass checks the runtime against."""
+    coords: list[Coord] = []
+    hook = getattr(tile, "lint_dest_coords", None)
+    if callable(hook):
+        coords.extend(tuple(c) for c in hook())
+    table = getattr(tile, "next_hop", None)
+    if table is not None:
+        for dests in getattr(table, "_entries", {}).values():
+            coords.extend(tuple(c) for c in dests)
+    seen: set[Coord] = set()
+    unique: list[Coord] = []
+    for coord in coords:
+        if coord not in seen:
+            seen.add(coord)
+            unique.append(coord)
+    return unique
+
+
+def _forwarding_names(model: DesignModel) -> set[str]:
+    """Tiles in a non-terminal position of some declared chain."""
+    names: set[str] = set()
+    for chain in model.declared_chains:
+        names.update(chain[:-1])
+    return names
+
+
+def run(design: object) -> list[Finding]:
+    """The BHV5xx lint pass over an instantiated design."""
+    model = extract(design)
+    findings: list[Finding] = []
+    forwarding = _forwarding_names(model)
+
+    for name, tile in model.tiles.items():
+        domain = domain_of(tile)
+        runtime = runtime_dests(tile)
+
+        if domain is None:
+            if not runtime and name in forwarding:
+                findings.append(Finding(
+                    "BHV504",
+                    "forwards traffic (non-terminal in a declared "
+                    "chain) but has no NextHopTable entries, no "
+                    "lint_dest_coords() and no dest_domain(): its "
+                    "routing is invisible to every static pass",
+                    location=name,
+                    hint="declare the reachable set with a "
+                         "dest_domain() -> DestDomain hook"))
+            continue
+
+        declared = set(domain.coords)
+        runtime_set = set(runtime)
+
+        for coord in sorted(declared):
+            if coord not in model.tiles_at:
+                findings.append(Finding(
+                    "BHV501",
+                    f"declared destination {coord} has no tile "
+                    "attached: data-dependent dispatch to it can "
+                    "never be routed",
+                    location=name,
+                    hint="attach a tile at the coordinate or remove "
+                         "it from dest_domain()",
+                    data={"coord": list(coord)}))
+
+        # A tile with no table/replica state at all (fixed wiring held
+        # in plain attributes, or purely data-dependent dispatch) has
+        # nothing to diff the declaration against; only report stale
+        # domain entries when runtime state exists to contradict them.
+        if runtime_set:
+            for coord in sorted(declared - runtime_set):
+                findings.append(Finding(
+                    "BHV502",
+                    f"declared destination {coord} is emitted by no "
+                    "runtime routing state (no table entry, replica "
+                    "or stack registers it)",
+                    location=name,
+                    hint="remove the stale domain entry or register "
+                         "the destination",
+                    data={"coord": list(coord)}))
+
+        for coord in sorted(runtime_set - declared):
+            findings.append(Finding(
+                "BHV503",
+                f"runtime routing state can emit {coord}, which is "
+                "outside the declared destination domain",
+                location=name,
+                hint="dest_domain() must cover every destination the "
+                     "tile can actually address",
+                data={"coord": list(coord)}))
+    return findings

@@ -10,8 +10,9 @@ its hops in order; a cycle anywhere in the union graph over all chains
 is a potential deadlock.
 
 This module is the canonical home of the analysis (it moved here from
-``repro.deadlock.analysis``, which remains as a thin compatibility
-shim).  Two entry points:
+the old ``repro.deadlock.analysis`` module, since removed; the
+``repro.deadlock`` package re-exports the stable API and keeps the
+runtime demo).  Two entry points:
 
 - the functional API (:func:`analyze_chains`,
   :func:`assert_deadlock_free`) over explicitly declared chains, used
@@ -26,6 +27,8 @@ shim).  Two entry points:
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import networkx as nx
 
 from repro.analysis.findings import Finding
@@ -34,6 +37,8 @@ from repro.noc.routing import Port, route_path, xy_route
 
 Coord = tuple
 Resource = tuple  # ((x, y), Port)
+#: (here, dst) -> next output port.
+RouteFn = Callable[[tuple[int, int], tuple[int, int]], Port]
 
 # Hard cap on derived-path enumeration; beyond this the pass reports
 # BHV204 and analyzes the paths found so far.
@@ -43,7 +48,8 @@ MAX_DERIVED_PATHS = 4096
 class DeadlockError(RuntimeError):
     """Raised when a design's chains admit a resource cycle."""
 
-    def __init__(self, cycle: list, chains_involved: list[str]):
+    def __init__(self, cycle: list,
+                 chains_involved: list[str]) -> None:
         self.cycle = cycle
         self.chains_involved = chains_involved
         links = " -> ".join(f"{coord}:{port.value}"
@@ -57,7 +63,7 @@ class DeadlockError(RuntimeError):
 
 def chain_link_sequence(chain: list[str],
                         coords: dict[str, Coord],
-                        route_fn=xy_route) -> list[Resource]:
+                        route_fn: RouteFn = xy_route) -> list[Resource]:
     """The ordered list of NoC links a chain can hold simultaneously.
 
     Each tile-to-tile hop contributes its full route, including the
@@ -79,7 +85,7 @@ def chain_link_sequence(chain: list[str],
 
 def build_dependency_graph(chains: list[list[str]],
                            coords: dict[str, Coord],
-                           route_fn=xy_route) -> nx.DiGraph:
+                           route_fn: RouteFn = xy_route) -> nx.DiGraph:
     """Union of every chain's consecutive-resource dependency edges."""
     graph = nx.DiGraph()
     for chain in chains:
@@ -138,7 +144,7 @@ def chains_through(graph: nx.DiGraph, cycle: list[Resource]) -> list[str]:
 
 def analyze_chains(chains: list[list[str]],
                    coords: dict[str, Coord],
-                   route_fn=xy_route) -> list | None:
+                   route_fn: RouteFn = xy_route) -> list | None:
     """Returns a witness resource cycle, or None if deadlock-free."""
     graph = build_dependency_graph(chains, coords, route_fn)
     cycles = witness_cycles(graph)
@@ -147,7 +153,7 @@ def analyze_chains(chains: list[list[str]],
 
 def assert_deadlock_free(chains: list[list[str]],
                          coords: dict[str, Coord],
-                         route_fn=xy_route) -> None:
+                         route_fn: RouteFn = xy_route) -> None:
     """Raise :class:`DeadlockError` if the chains admit a cycle."""
     graph = build_dependency_graph(chains, coords, route_fn)
     cycles = witness_cycles(graph)
@@ -156,7 +162,7 @@ def assert_deadlock_free(chains: list[list[str]],
     raise DeadlockError(cycles[0], chains_through(graph, cycles[0]))
 
 
-def analyze_design(design) -> None:
+def analyze_design(design: object) -> None:
     """Convenience: check a built design exposing .chains/.tile_coords."""
     assert_deadlock_free(design.chains, design.tile_coords)
 
@@ -164,7 +170,7 @@ def analyze_design(design) -> None:
 # -- chain derivation from the instantiated routing state ---------------------
 
 
-def _is_boundary(tile) -> bool:
+def _is_boundary(tile: object) -> bool:
     return bool(getattr(type(tile), "CHAIN_BOUNDARY", False))
 
 
@@ -285,7 +291,7 @@ def _drains_at_boundary(chain: list[str], model: DesignModel) -> bool:
     return tile is not None and _is_boundary(tile)
 
 
-def run(design) -> list[Finding]:
+def run(design: object) -> list[Finding]:
     """The BHV2xx lint pass over an instantiated design."""
     model = extract(design)
     findings: list[Finding] = []

@@ -7,6 +7,26 @@ every cycle, so the missing hook is invisible.  Under the scheduled
 kernel the tile idles out before traffic arrives and nothing ever
 wakes it, so the same design stalls forever.  The wake-contract pass
 flags exactly this divergence as BHV301 *before* anything runs.
+
+The remaining builders each seed exactly one bug for one finding code,
+so the linter's regression tests can assert "this pass catches this
+bug, and no other pass misfires on it":
+
+==============================  ======  ==================================
+builder                         code    seeded bug
+==============================  ======  ==================================
+build_broken_wake_design        BHV301  wake_sources() misses the FIFO
+build_idle_liar_design          BHV401  is_idle() lies while work remains
+build_leaky_eject_design        BHV403  pops the eject FIFO off the books
+build_step_parity_design        BHV404  behaviour depends on step count
+build_phantom_dest_design       BHV501  declared domain coord unattached
+build_stale_domain_design       BHV502  domain wider than the replicas
+build_escaped_domain_design     BHV503  replicas outside the domain
+build_blind_forwarder_design    BHV504  forwarding with no declarations
+==============================  ======  ==================================
+
+(BHV402 needs no dedicated fixture: the broken-wake design is also the
+canonical *dynamic* lost wakeup — the staged push its consumer misses.)
 """
 
 from __future__ import annotations
@@ -14,21 +34,23 @@ from __future__ import annotations
 from repro.noc.mesh import Mesh
 from repro.noc.message import NocMessage
 from repro.sim.kernel import CycleSimulator
-from repro.tiles.base import Tile
+from repro.tiles.base import DestDomain, Tile
+from repro.tiles.scheduler import RoundRobinSchedulerTile
 
 
 class BrokenWakeEchoTile(Tile):
     """Counts messages; its FIFO wake hook is deliberately missing."""
 
     def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
-                 **kwargs):
+                 **kwargs: object) -> None:
         super().__init__(name, mesh, coord, **kwargs)
         self.echoed = 0
 
-    def wake_sources(self):
+    def wake_sources(self) -> tuple:
         return ()  # BUG: the ejection FIFO never wakes the tile
 
-    def handle_message(self, message: NocMessage, cycle: int):
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> list[NocMessage]:
         self.echoed += 1
         return []
 
@@ -36,7 +58,7 @@ class BrokenWakeEchoTile(Tile):
 class BrokenWakeDesign:
     """A 2x1 mesh: an ingress port feeding one broken echo tile."""
 
-    def __init__(self, kernel: str = "scheduled"):
+    def __init__(self, kernel: str = "scheduled") -> None:
         self.sim = CycleSimulator(kernel=kernel)
         self.mesh = Mesh(2, 1)
         self.echo = BrokenWakeEchoTile("echo", self.mesh, (1, 0))
@@ -55,3 +77,330 @@ class BrokenWakeDesign:
 
 def build_broken_wake_design(kernel: str = "scheduled") -> BrokenWakeDesign:
     return BrokenWakeDesign(kernel=kernel)
+
+
+# -- shared fixture scaffolding ---------------------------------------------
+
+class CountingSinkTile(Tile):
+    """A well-behaved terminal tile: counts and discards messages."""
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self.received = 0
+
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> list[NocMessage]:
+        self.received += 1
+        return []
+
+
+# -- BHV401: is_idle() that lies --------------------------------------------
+
+class IdleLiarTile(Tile):
+    """Holds a private work list its ``is_idle()`` pretends not to have.
+
+    The scheduled kernel prunes it immediately; the idle-truth pass
+    shadow-steps it and watches ``echoed`` advance — observable
+    progress from a component that swore it was quiescent.
+    """
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 work_items: int = 8, **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self._work = list(range(work_items))
+        self.echoed = 0
+
+    def on_cycle(self, cycle: int) -> None:
+        if self._work:
+            self._work.pop()
+            self.echoed += 1
+
+    def is_idle(self) -> bool:
+        return True  # BUG: claims quiescence while _work remains
+
+    def next_event_cycle(self) -> int | None:
+        return None  # ... and never arms a timer to come back for it
+
+
+class IdleLiarDesign:
+    """A 2x1 mesh holding one lying tile; no traffic needed."""
+
+    def __init__(self, kernel: str = "scheduled") -> None:
+        self.sim = CycleSimulator(kernel=kernel)
+        self.mesh = Mesh(2, 1)
+        self.liar = IdleLiarTile("liar", self.mesh, (1, 0))
+        self.tiles = [self.liar]
+        self.mesh.register(self.sim)
+        self.sim.add(self.liar)
+        self.chains: list[list[str]] = []
+        self.tile_coords = {"liar": (1, 0)}
+
+
+def build_idle_liar_design(kernel: str = "scheduled") -> IdleLiarDesign:
+    return IdleLiarDesign(kernel=kernel)
+
+
+# -- BHV403: flits popped off the books -------------------------------------
+
+class LeakyEjectTile(Tile):
+    """Drains its ejection FIFO directly, bypassing the port's
+    ``receive()`` — so ``flits_ejected`` never learns about the flits
+    and the conservation ledger shows unattributed loss.
+
+    ``on_cycle`` is overridden, so the base ``is_idle()`` honestly
+    reports never-idle: the tile is stepped every cycle and the other
+    dynamic passes stay silent.
+    """
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self.leaked = 0
+
+    def on_cycle(self, cycle: int) -> None:
+        fifo = self.port.eject_fifo
+        while fifo._items:
+            fifo._items.popleft()  # BUG: bypasses LocalPort.receive()
+            self.leaked += 1
+
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> list[NocMessage]:
+        return []  # unreachable: on_cycle stole the flits
+
+
+class LeakyEjectDesign:
+    """A 2x1 mesh: an ingress port feeding the leaky tile."""
+
+    def __init__(self, kernel: str = "scheduled") -> None:
+        self.sim = CycleSimulator(kernel=kernel)
+        self.mesh = Mesh(2, 1)
+        self.leaky = LeakyEjectTile("leaky", self.mesh, (1, 0))
+        self.ingress = self.mesh.attach((0, 0))
+        self.tiles = [self.leaky]
+        self.mesh.register(self.sim)
+        self.sim.add(self.leaky)
+        self.chains = [["ingress", "leaky"]]
+        self.tile_coords = {"ingress": (0, 0), "leaky": (1, 0)}
+
+    def send(self, data: bytes = b"x" * 256) -> None:
+        self.ingress.send(NocMessage(dst=self.leaky.coord,
+                                     src=self.ingress.coord,
+                                     data=data))
+
+
+def build_leaky_eject_design(kernel: str = "scheduled") -> LeakyEjectDesign:
+    return LeakyEjectDesign(kernel=kernel)
+
+
+# -- BHV404: behaviour keyed to step count ----------------------------------
+
+class StepParityTile(Tile):
+    """Echoes or drops depending on how often it has been stepped.
+
+    ``steps_seen`` advances once per ``step`` call — which is every
+    cycle under the naive kernel but only on active cycles under the
+    scheduled one, so identical traffic produces different echo/drop
+    streams.  ``is_idle()`` is *honest* (the base queue checks, minus
+    the on_cycle guard), so the idle-truth pass stays silent: this is
+    the bug class only the determinism pass can see.
+    """
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self.steps_seen = 0
+        self.echoed = 0
+
+    def on_cycle(self, cycle: int) -> None:
+        self.steps_seen += 1  # BUG: observable state keyed to stepping
+
+    def is_idle(self) -> bool:
+        if self._fault_frozen:
+            return False
+        eject = self.port.eject_fifo
+        if eject._items or eject._staged:
+            return False
+        if self._in_service is not None:
+            return True
+        if self._rx_ready:
+            return self.port.tx_backlog < self.max_tx_backlog
+        return True
+
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> list[NocMessage]:
+        # Under the naive kernel steps_seen tracks the cycle count, so
+        # this echoes; under the scheduled kernel the tile slept most
+        # of its life, so the same message is dropped.
+        if self.steps_seen < cycle // 2:
+            return self.drop(message, "stepped too rarely")
+        self.echoed += 1
+        return [self.make_message(message.src, data=message.data)]
+
+
+class StepParityDesign:
+    """A 2x1 mesh: an ingress port feeding the parity tile."""
+
+    def __init__(self, kernel: str = "scheduled") -> None:
+        self.sim = CycleSimulator(kernel=kernel)
+        self.mesh = Mesh(2, 1)
+        self.parity = StepParityTile("parity", self.mesh, (1, 0))
+        self.ingress = self.mesh.attach((0, 0))
+        self.tiles = [self.parity]
+        self.mesh.register(self.sim)
+        self.sim.add(self.parity)
+        self.chains = [["ingress", "parity"]]
+        self.tile_coords = {"ingress": (0, 0), "parity": (1, 0)}
+
+    def send(self, data: bytes = b"ping") -> None:
+        self.ingress.send(NocMessage(dst=self.parity.coord,
+                                     src=self.ingress.coord,
+                                     data=data))
+
+
+def build_step_parity_design(kernel: str = "scheduled") -> StepParityDesign:
+    return StepParityDesign(kernel=kernel)
+
+
+# -- BHV501/502/503: destination-domain declarations vs reality --------------
+
+class PhantomDomainTile(Tile):
+    """Declares a data-dependent destination with no tile attached."""
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 phantom: tuple[int, int], **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self._phantom = phantom
+
+    def dest_domain(self) -> DestDomain:
+        # BUG: the coordinate never got a tile, so data-dependent
+        # dispatch to it could never be routed.
+        return DestDomain.of([self._phantom], data_dependent=True)
+
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> list[NocMessage]:
+        return []
+
+
+class StaleDomainScheduler(RoundRobinSchedulerTile):
+    """Declares one more destination than the replica list registers."""
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 stale: tuple[int, int], **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self._stale = stale
+
+    def dest_domain(self) -> DestDomain:
+        # BUG: the domain kept a coordinate no runtime state emits.
+        return DestDomain.of([*self.replicas, self._stale],
+                             data_dependent=True)
+
+
+class EscapedDomainScheduler(RoundRobinSchedulerTile):
+    """Declares only the first replica; the rest escape the domain."""
+
+    def dest_domain(self) -> DestDomain:
+        # BUG: round-robin reaches every replica, not just replicas[0].
+        return DestDomain.of(self.replicas[:1], data_dependent=True)
+
+
+class _DomainFixtureDesign:
+    """A 3x2 mesh: an ingress feeding one dispatcher plus two
+    well-behaved sink tiles; (2, 1) stays unoccupied."""
+
+    def __init__(self, dispatcher_cls: type,
+                 kernel: str = "scheduled",
+                 **dispatcher_kwargs: object) -> None:
+        self.sim = CycleSimulator(kernel=kernel)
+        self.mesh = Mesh(3, 2)
+        self.dispatch = dispatcher_cls("dispatch", self.mesh, (1, 0),
+                                       **dispatcher_kwargs)
+        self.sink_a = CountingSinkTile("sink_a", self.mesh, (2, 0))
+        self.sink_b = CountingSinkTile("sink_b", self.mesh, (1, 1))
+        self.ingress = self.mesh.attach((0, 0))
+        self.tiles = [self.dispatch, self.sink_a, self.sink_b]
+        self.mesh.register(self.sim)
+        for tile in self.tiles:
+            self.sim.add(tile)
+        self.chains = [["ingress", "dispatch"],
+                       ["dispatch", "sink_a"], ["dispatch", "sink_b"]]
+        self.tile_coords = {t.name: t.coord for t in self.tiles}
+        self.tile_coords["ingress"] = (0, 0)
+
+    def send(self, data: bytes = b"ping") -> None:
+        self.ingress.send(NocMessage(dst=self.dispatch.coord,
+                                     src=self.ingress.coord,
+                                     data=data))
+
+
+def build_phantom_dest_design(
+        kernel: str = "scheduled") -> _DomainFixtureDesign:
+    """BHV501: the declared domain names the unoccupied (2, 1)."""
+    return _DomainFixtureDesign(PhantomDomainTile, kernel=kernel,
+                                phantom=(2, 1))
+
+
+def build_stale_domain_design(
+        kernel: str = "scheduled") -> _DomainFixtureDesign:
+    """BHV502: sink_b is declared but only sink_a is a replica."""
+    design = _DomainFixtureDesign(StaleDomainScheduler, kernel=kernel,
+                                  stale=(1, 1))
+    design.dispatch.add_replica(design.sink_a.coord)
+    return design
+
+
+def build_escaped_domain_design(
+        kernel: str = "scheduled") -> _DomainFixtureDesign:
+    """BHV503: both sinks are replicas but only sink_a is declared."""
+    design = _DomainFixtureDesign(EscapedDomainScheduler, kernel=kernel)
+    design.dispatch.add_replica(design.sink_a.coord)
+    design.dispatch.add_replica(design.sink_b.coord)
+    return design
+
+
+# -- BHV504: forwarding with no static footprint -----------------------------
+
+class BlindForwarderTile(Tile):
+    """Forwards everything to a hard-coded coordinate held in a plain
+    attribute — no table entry, no hook, no declaration."""
+
+    def __init__(self, name: str, mesh: Mesh, coord: tuple[int, int],
+                 forward_to: tuple[int, int], **kwargs: object) -> None:
+        super().__init__(name, mesh, coord, **kwargs)
+        self._forward_to = forward_to
+
+    def handle_message(self, message: NocMessage,
+                       cycle: int) -> list[NocMessage]:
+        return [self.make_message(self._forward_to,
+                                  metadata=message.metadata,
+                                  data=message.data)]
+
+
+class BlindForwarderDesign:
+    """A 3x1 mesh: the forwarder is non-terminal in a declared chain,
+    so its statically-invisible routing is the linter's blind spot."""
+
+    def __init__(self, kernel: str = "scheduled") -> None:
+        self.sim = CycleSimulator(kernel=kernel)
+        self.mesh = Mesh(3, 1)
+        self.sink = CountingSinkTile("sink", self.mesh, (2, 0))
+        self.fwd = BlindForwarderTile("fwd", self.mesh, (1, 0),
+                                      forward_to=self.sink.coord)
+        self.ingress = self.mesh.attach((0, 0))
+        self.tiles = [self.fwd, self.sink]
+        self.mesh.register(self.sim)
+        for tile in self.tiles:
+            self.sim.add(tile)
+        self.chains = [["ingress", "fwd"], ["fwd", "sink"]]
+        self.tile_coords = {t.name: t.coord for t in self.tiles}
+        self.tile_coords["ingress"] = (0, 0)
+
+    def send(self, data: bytes = b"ping") -> None:
+        self.ingress.send(NocMessage(dst=self.fwd.coord,
+                                     src=self.ingress.coord,
+                                     data=data))
+
+
+def build_blind_forwarder_design(
+        kernel: str = "scheduled") -> BlindForwarderDesign:
+    return BlindForwarderDesign(kernel=kernel)

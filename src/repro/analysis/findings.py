@@ -5,7 +5,11 @@ greps, suppressions, and documentation survive message rewording:
 
 - ``BHV1xx`` — topology / structural soundness,
 - ``BHV2xx`` — routing and channel-dependency deadlock,
-- ``BHV3xx`` — simulation-kernel (quiescence/wake) contract.
+- ``BHV3xx`` — simulation-kernel (quiescence/wake) contract,
+- ``BHV4xx`` — dynamic sanitizer findings from bounded instrumented
+  runs (:mod:`repro.analysis.sanitize`),
+- ``BHV5xx`` — data-flow routing: declared destination domains vs the
+  runtime routing state (:mod:`repro.analysis.dataflow`).
 
 Severities: ``error`` findings make :mod:`repro.tools.lint` exit
 nonzero; ``warning`` and ``info`` findings are reported but do not
@@ -71,6 +75,29 @@ CODES: dict[str, tuple[str, str]] = {
                      "stepped every cycle (naive-kernel behaviour)"),
     "BHV306": (WARNING, "declared wake source is not wired to wake "
                         "this component"),
+    # -- BHV4xx: dynamic sanitizer (bounded instrumented runs) ---------
+    "BHV401": (ERROR, "idle-truthfulness violation: a component the "
+                      "scheduled kernel pruned made observable "
+                      "progress when shadow-stepped"),
+    "BHV402": (ERROR, "lost wakeup: a push into a FIFO whose consumer "
+                      "is pruned and not woken in the same cycle"),
+    "BHV403": (ERROR, "flit conservation violated: injected flits != "
+                      "ejected + in-flight (unattributed loss)"),
+    "BHV404": (ERROR, "non-determinism: two kernel x backend combos "
+                      "diverged under identical traffic"),
+    # -- BHV5xx: data-flow routing (destination domains) ---------------
+    "BHV501": (ERROR, "declared destination-domain coordinate has no "
+                      "tile attached (data-dependent dispatch to it "
+                      "can never be routed)"),
+    "BHV502": (WARNING, "declared destination-domain coordinate that "
+                        "no runtime routing state (next-hop table, "
+                        "replica/stack list) can emit"),
+    "BHV503": (ERROR, "runtime destination outside the tile's "
+                      "declared destination domain (the declaration "
+                      "under-covers the reachable set)"),
+    "BHV504": (WARNING, "tile forwards traffic but has no statically "
+                        "derivable destinations (data-dependent "
+                        "routing the linter cannot see)"),
 }
 
 

@@ -10,6 +10,8 @@ and :class:`repro.config.generate.GeneratedDesign` qualify.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.noc.mesh import LocalPort, Mesh
 from repro.noc.router import Router
 from repro.noc.routing import xy_route, yx_route
@@ -21,7 +23,8 @@ Coord = tuple
 class DesignModel:
     """Everything the passes need, extracted once."""
 
-    def __init__(self, design, name: str | None = None):
+    def __init__(self, design: object,
+                 name: str | None = None) -> None:
         self.design = design
         self.name = name or type(design).__name__
         self.sim: CycleSimulator | None = getattr(design, "sim", None)
@@ -55,20 +58,27 @@ class DesignModel:
     # -- routing -----------------------------------------------------------
 
     @property
-    def route_fn(self):
+    def route_fn(self) -> Callable[[tuple[int, int], tuple[int, int]],
+                                   object]:
         routing = getattr(self.mesh, "routing", "xy")
         return {"xy": xy_route, "yx": yx_route}.get(routing, xy_route)
 
     # -- next-hop extraction -----------------------------------------------
 
-    def dest_coords(self, tile) -> list[Coord]:
-        """Every statically-known destination coordinate of ``tile``.
+    def dest_coords(self, tile: object) -> list[Coord]:
+        """Every *runtime-derivable* destination coordinate of ``tile``.
 
-        Sources, in order: an explicit ``lint_dest_coords()`` hook on
-        the tile (the scheduler and load-balancer tiles provide one
-        covering their replica / stack destination lists), and the
+        Sources: an explicit ``lint_dest_coords()`` hook on the tile
+        (the scheduler and load-balancer tiles provide one covering
+        their replica / stack destination lists) and the
         :class:`~repro.tiles.base.NextHopTable` entry sets (including
         every member of a round-robin / flow-hash destination set).
+
+        Deliberately *excludes* ``dest_domain()`` declarations: a
+        domain covers request/reply and data-dependent traffic that is
+        not a cut-through streaming path, so feeding it to the chain
+        derivation would manufacture phantom streaming chains.  The
+        declarations are checked by :mod:`repro.analysis.dataflow`.
         """
         coords: list[Coord] = []
         hook = getattr(tile, "lint_dest_coords", None)
@@ -108,7 +118,7 @@ class DesignModel:
             return []
         return list(self.sim._components)
 
-    def substeps(self, component) -> list:
+    def substeps(self, component: object) -> list:
         """Sub-components ``component`` steps internally each cycle.
 
         A registered component may absorb the step/commit of objects
@@ -133,7 +143,8 @@ class DesignModel:
                 parents[id(sub)] = component
         return parents
 
-    def consumed_fifos(self, component) -> list[StagedFifo]:
+    def consumed_fifos(
+            self, component: object) -> list[StagedFifo]:
         """The FIFOs ``component`` pops from during ``step``.
 
         Discovered structurally from the known component shapes; a
@@ -165,7 +176,8 @@ class DesignModel:
         return ports
 
 
-def extract(design, name: str | None = None) -> DesignModel:
+def extract(design: object,
+            name: str | None = None) -> DesignModel:
     """Build a :class:`DesignModel`; pass ``design`` through unchanged
     if it already is one."""
     if isinstance(design, DesignModel):

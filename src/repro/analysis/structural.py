@@ -19,7 +19,7 @@ from repro.analysis.model import DesignModel, extract
 from repro.tiles.base import Tile
 
 
-def lint_spec(spec) -> list[Finding]:
+def lint_spec(spec: object) -> list[Finding]:
     """BHV1xx findings for a :class:`repro.config.schema.DesignSpec`."""
     findings: list[Finding] = []
     if spec.width < 1 or spec.height < 1:
@@ -246,7 +246,7 @@ def _sizing_findings(model: DesignModel) -> list[Finding]:
     return findings
 
 
-def run(design) -> list[Finding]:
+def run(design: object) -> list[Finding]:
     """The BHV1xx lint pass over an instantiated design."""
     model = extract(design)
     findings = _mesh_findings(model)

@@ -25,7 +25,7 @@ from repro.analysis.model import extract
 from repro.sim.kernel import StagedFifo
 
 
-def _name_of(component) -> str:
+def _name_of(component: object) -> str:
     name = getattr(component, "name", None)
     if name:
         return str(name)
@@ -35,7 +35,7 @@ def _name_of(component) -> str:
     return type(component).__name__
 
 
-def _wired_to(fifo: StagedFifo, component) -> bool:
+def _wired_to(fifo: StagedFifo, component: object) -> bool:
     """True if one of ``fifo``'s wake hooks re-activates ``component``.
 
     The kernel tags each waker closure with the component it wakes
@@ -48,7 +48,7 @@ def _wired_to(fifo: StagedFifo, component) -> bool:
     return False
 
 
-def _probe(component) -> tuple[object, Finding | None]:
+def _probe(component: object) -> tuple[object, Finding | None]:
     """Call ``is_idle()`` defensively; (value, finding-or-None)."""
     name = _name_of(component)
     try:
@@ -67,7 +67,7 @@ def _probe(component) -> tuple[object, Finding | None]:
     return idle, None
 
 
-def run(design) -> list[Finding]:
+def run(design: object) -> list[Finding]:
     """The BHV3xx lint pass over an instantiated design."""
     model = extract(design)
     findings: list[Finding] = []

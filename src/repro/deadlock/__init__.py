@@ -13,31 +13,13 @@ tiles make the Fig 5a deadlock actually happen in the cycle simulator
 (and Fig 5b run clean) — the runtime counterpart of the static check.
 """
 
-# Imported from the canonical home, NOT via the deprecated
-# repro.deadlock.analysis shim — importing this package must not warn.
 from repro.analysis.deadlock import (
     DeadlockError,
+    analyze_chains,
     assert_deadlock_free,
     chain_link_sequence,
 )
-from repro.analysis.deadlock import analyze_chains as _analyze_chains
 from repro.deadlock.demo import CutThroughTile, build_fig5_layout
-from repro.noc.routing import xy_route
-
-
-def analyze_chains(chains, coords, route_fn=xy_route):
-    """Deprecated alias — warns at call time, delegates to
-    :func:`repro.analysis.deadlock.analyze_chains`."""
-    import warnings
-
-    warnings.warn(
-        "repro.deadlock.analyze_chains moved to repro.analysis; "
-        "use repro.analysis.analyze_chains (or repro.analysis.analyze "
-        "for whole-design linting)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _analyze_chains(chains, coords, route_fn)
 
 __all__ = [
     "CutThroughTile",

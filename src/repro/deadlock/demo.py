@@ -41,17 +41,20 @@ class CutThroughTile:
             if not local_in.can_accept():
                 return  # blocked: stop consuming, hold the wormhole open
             local_in.push(self._held)
+            self.port.flits_injected += 1
             self._held = None
         flit = self.port.eject_fifo.peek()
         if flit is None:
             return
         if self.next_coord is None:
             self.port.eject_fifo.pop()
+            self.port.flits_ejected += 1
             self.flits_through += 1
             if flit.is_tail:
                 self.messages_through += 1
             return
         self.port.eject_fifo.pop()
+        self.port.flits_ejected += 1
         self.flits_through += 1
         if flit.is_head:
             self._out_msg_id = next(_msg_ids)
@@ -68,6 +71,7 @@ class CutThroughTile:
         )
         if local_in.can_accept():
             local_in.push(forwarded)
+            self.port.flits_injected += 1
         else:
             self._held = forwarded
 

@@ -57,6 +57,12 @@ class LocalPort(Wakeable):
         self.messages_sent = 0
         self.messages_received = 0
         self.flits_injected = 0
+        #: Flits popped off the ejection FIFO — the other side of the
+        #: ``flits_injected`` ledger the conservation sanitizer
+        #: (repro.analysis.sanitize, BHV403) balances.  Anything that
+        #: pops ``eject_fifo`` without going through :meth:`receive`
+        #: must bump this itself.
+        self.flits_ejected = 0
         #: Deepest the unbounded tile-side injection queue has ever
         #: been (messages queued plus one mid-injection) — the telemetry
         #: plane's back-pressure indicator for this attachment point.
@@ -138,6 +144,7 @@ class LocalPort(Wakeable):
         if flit is None:
             return None
         self.eject_fifo.pop()
+        self.flits_ejected += 1
         if self._fault_eject is not None:
             flit = self._fault_eject.filter(flit)
         message = self._assembler.push(flit)

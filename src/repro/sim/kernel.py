@@ -554,6 +554,85 @@ class CycleSimulator:
                 self._arm_timer(component, max(deadline, cycle + 1))
         self.cycle = cycle + 1
 
+    def sanitized_tick(self, observer) -> None:
+        """One instrumented cycle for :mod:`repro.analysis.sanitize`.
+
+        Steps the *full* registration list naive-style — safe because a
+        truthfully idle component's step is a no-op by contract, the
+        same property the saturation bypass relies on — while
+        maintaining the scheduled kernel's activity bookkeeping (active
+        set, timers, pruning) exactly as a bypass-free scheduled run
+        would.  The divergence between the two is the signal:
+
+        - a component *not* in the active set is handed to
+          ``observer.shadow_step(component, cycle)`` instead of being
+          stepped directly, so the observer can fingerprint it around
+          its own step (BHV401 idle-truthfulness);
+        - after the step phase, ``observer.step_phase_done(cycle)``
+          runs with staged pushes still visible, so pushes into FIFOs
+          whose consumers stayed pruned are observable (BHV402).
+
+        This method is strictly opt-in: the normal ``tick`` path never
+        consults it, so the sanitizer-off fast path is untouched.
+        Under the naive kernel nothing is ever pruned and this
+        degrades to a plain naive tick plus the observer callbacks.
+        """
+        cycle = self.cycle
+        if not self._scheduled:
+            if self.tracer.enabled:
+                self.tracer.cycle_start(cycle)
+            for component in self._components:
+                component.step(cycle)
+            observer.step_phase_done(cycle)
+            for component in self._components:
+                component.commit()
+            for fifo in self._fifos:
+                fifo.commit()
+            self.cycle = cycle + 1
+            observer.cycle_done(cycle)
+            return
+        if self._timers and self._timers[0][0] <= cycle:
+            self._service_timers(cycle)
+        if self.tracer.enabled:
+            self.tracer.cycle_start(cycle)
+        active = self._active
+        stepped = []
+        self._late_wakes = late = []
+        self._in_step = True
+        try:
+            for component in self._components:
+                if component in active:
+                    stepped.append(component)
+                    component.step(cycle)
+                else:
+                    observer.shadow_step(component, cycle)
+        finally:
+            self._in_step = False
+        observer.step_phase_done(cycle)
+        self.component_steps += len(self._components)
+        for component in self._components:
+            component.commit()
+        for fifo in self._fifos:
+            fifo.commit()
+        # Prune bookkeeping over the components the scheduled kernel
+        # would have stepped (the active set at cycle start plus late
+        # wakes), mirroring _tick_scheduled without the bypass.
+        stepped.extend(late)
+        contracts = self._contracts
+        for component in stepped:
+            is_idle, next_event = contracts[component]
+            if is_idle is None or not is_idle():
+                continue
+            active.discard(component)
+            self._active_dirty = True
+            if next_event is None:
+                continue
+            deadline = next_event()
+            if deadline is not None:
+                self._arm_timer(component, max(deadline, cycle + 1))
+        self.cycle = cycle + 1
+        observer.cycle_done(cycle)
+
     def run(self, cycles: int) -> None:
         if not self._scheduled:
             for _ in range(cycles):

@@ -28,7 +28,7 @@ from repro.tcp.messages import (
     TxReady,
     TxReserve,
 )
-from repro.tiles.base import Tile
+from repro.tiles.base import DestDomain, Tile
 from repro.tiles.buffer import (
     BufferReadReq,
     BufferReadResp,
@@ -73,6 +73,13 @@ class TcpAppTile(Tile):
         self.request_size = request_size
         self.flows: dict[int, _FlowCtx] = {}
         self.connections = 0
+
+    def dest_domain(self) -> DestDomain:
+        """Fixed wiring: the app only ever addresses its two engines
+        and its two buffers."""
+        return DestDomain.of((self.tcp_rx_coord, self.tcp_tx_coord,
+                              self.rx_buffer_coord,
+                              self.tx_buffer_coord))
 
     # -- overridables -----------------------------------------------------------
 

@@ -35,7 +35,7 @@ from repro.tcp.messages import (
     RxNotify,
     RxRequest,
 )
-from repro.tiles.base import PacketMeta, Tile
+from repro.tiles.base import DestDomain, PacketMeta, Tile
 from repro.tiles.buffer import BufferTile
 
 
@@ -72,6 +72,14 @@ class TcpRxEngineTile(Tile):
         self.out_of_order_drops = 0
         self.checksum_errors = 0
         self.resets = 0
+
+    def dest_domain(self) -> DestDomain:
+        """The RX engine addresses its buffer, every listening app,
+        and — data-dependently — per-flow reply destinations carried
+        in the requests it services."""
+        return DestDomain.of(
+            [self.rx_buffer.coord, *self.listen_ports.values()],
+            data_dependent=True)
 
     # -- wiring ---------------------------------------------------------------
 

@@ -37,7 +37,7 @@ def _prom_name(name: str) -> str:
     return text
 
 
-def _prom_value(value) -> str:
+def _prom_value(value: object) -> str:
     if value is None:
         return "NaN"
     if isinstance(value, float) and value == int(value):
@@ -129,7 +129,7 @@ class SnapshotSeries:
     """
 
     def __init__(self, interval: int, design: str = "",
-                 meta: dict | None = None):
+                 meta: dict | None = None) -> None:
         if interval < 1:
             raise ValueError("snapshot interval must be >= 1 cycle")
         self.interval = interval

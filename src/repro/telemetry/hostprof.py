@@ -28,6 +28,7 @@ Usage::
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from time import perf_counter
 
 
@@ -60,11 +61,12 @@ class HostProfiler:
 
     # -- timing core --------------------------------------------------------
 
-    def _timed(self, bucket_name: str, fn):
+    def _timed(self, bucket_name: str,
+               fn: Callable) -> Callable:
         bucket = self.buckets.setdefault(bucket_name, _Bucket())
         stack = self._stack
 
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: object, **kwargs: object) -> object:
             frame = [bucket_name, 0.0]
             stack.append(frame)
             start = perf_counter()
@@ -82,7 +84,7 @@ class HostProfiler:
         wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
         return wrapper
 
-    def _patch(self, owner, attribute: str, bucket_name: str,
+    def _patch(self, owner: object, attribute: str, bucket_name: str,
                instance: bool = True) -> None:
         """Shadow ``owner.attribute`` with a timed wrapper.
 
@@ -99,7 +101,7 @@ class HostProfiler:
 
     # -- wiring -------------------------------------------------------------
 
-    def install(self, design) -> HostProfiler:
+    def install(self, design: object) -> HostProfiler:
         """Wrap the hot call sites of ``design``; returns self."""
         if self.installed:
             raise RuntimeError("HostProfiler is already installed")
@@ -219,7 +221,8 @@ class HostProfiler:
         return "\n".join(lines)
 
 
-def profile_run(design, cycles: int) -> tuple[HostProfiler, float]:
+def profile_run(design: object,
+                cycles: int) -> tuple[HostProfiler, float]:
     """Run ``design.sim`` for ``cycles`` under a fresh profiler.
 
     Returns ``(profiler, wall_seconds)`` with the profiler already

@@ -38,6 +38,7 @@ periodic sampler (:mod:`repro.telemetry.probe`) and the exporters
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 
 SCHEMA = "repro.telemetry.metrics/1"
 
@@ -55,7 +56,7 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = _validate_name(name)
         self.help = help
         self.value = 0
@@ -79,7 +80,7 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = _validate_name(name)
         self.help = help
         self.value: float = 0
@@ -118,7 +119,7 @@ class Histogram:
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 significant_digits: int = 2):
+                 significant_digits: int = 2) -> None:
         if not 1 <= significant_digits <= 5:
             raise ValueError("significant_digits must be in [1, 5]")
         self.name = _validate_name(name)
@@ -226,10 +227,11 @@ class MetricsRegistry:
     error — one name, one meaning.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, cls, name: str, help: str, **kwargs):
+    def _get(self, cls: type, name: str, help: str,
+             **kwargs: object) -> Counter | Gauge | Histogram:
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = cls(name, help, **kwargs)
@@ -252,11 +254,11 @@ class MetricsRegistry:
         return self._get(Histogram, name, help,
                          significant_digits=significant_digits)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
         """The instrument registered under ``name``, or None."""
         return self._instruments.get(name)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
         return iter(sorted(self._instruments.values(),
                            key=lambda m: m.name))
 

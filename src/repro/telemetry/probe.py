@@ -50,14 +50,14 @@ from repro.telemetry.trace import percentile
 DEFAULT_INTERVAL = 500
 
 
-def _iter_tiles(design):
+def _iter_tiles(design: object) -> list:
     tiles = design.tiles
     if isinstance(tiles, dict):
         return list(tiles.values())
     return list(tiles)
 
 
-def _link_key(coord, port) -> str:
+def _link_key(coord: object, port: object) -> str:
     return f"{coord}->{getattr(port, 'value', port)}"
 
 
@@ -66,9 +66,10 @@ class Probe(Wakeable):
 
     name = "telemetry.probe"
 
-    def __init__(self, design, interval: int = DEFAULT_INTERVAL,
+    def __init__(self, design: object,
+                 interval: int = DEFAULT_INTERVAL,
                  registry: MetricsRegistry | None = None,
-                 design_name: str = ""):
+                 design_name: str = "") -> None:
         if interval < 1:
             raise ValueError("probe interval must be >= 1 cycle")
         self.design = design
@@ -300,7 +301,8 @@ class Probe(Wakeable):
         return self.series.write(path)
 
 
-def attach_probe(design, interval: int | None = DEFAULT_INTERVAL,
+def attach_probe(design: object,
+                 interval: int | None = DEFAULT_INTERVAL,
                  registry: MetricsRegistry | None = None,
                  design_name: str = "") -> Probe | None:
     """Wire a periodic sampler into a design's simulator.

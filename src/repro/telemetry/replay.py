@@ -28,7 +28,7 @@ class FrameTraceRecorder:
     design: object
     events: list[TraceEvent] = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self._inner_inject = self.design.inject
 
     def inject(self, frame: bytes, cycle: int) -> None:
@@ -51,8 +51,8 @@ class TraceReplayer:
     event keeps its recorded offset.
     """
 
-    def __init__(self, design, events: list[TraceEvent],
-                 start_cycle: int = 0):
+    def __init__(self, design: object, events: list[TraceEvent],
+                 start_cycle: int = 0) -> None:
         self.design = design
         self.events = sorted(events, key=lambda e: e.cycle)
         self.start_cycle = start_cycle

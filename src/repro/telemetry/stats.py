@@ -38,7 +38,7 @@ class TileCounters:
     tx_backlog_high_water: int = 0
 
 
-def design_counters(design) -> dict:
+def design_counters(design: object) -> dict:
     """Structured counters for every tile and the NoC.
 
     Tolerant by design: ``design.tiles`` may be a list or a dict, and
@@ -102,7 +102,7 @@ def design_counters(design) -> dict:
     return counters
 
 
-def _render_windows(metrics) -> list[str]:
+def _render_windows(metrics: object) -> list[str]:
     """The per-window metrics table appended to a traced report.
 
     Renders from :meth:`MetricsWindow.to_dict` — the structured view
@@ -116,7 +116,7 @@ def _render_windows(metrics) -> list[str]:
         f"{'busiest link':<22} {'util%':>6} {'drops':>6}",
     ]
 
-    def fmt(value) -> str:
+    def fmt(value: float | None) -> str:
         return "-" if value is None else f"{value:.0f}"
 
     for window in data["windows"]:
@@ -145,7 +145,8 @@ def _render_windows(metrics) -> list[str]:
     return lines
 
 
-def design_report(design, metrics=None) -> str:
+def design_report(design: object,
+                  metrics: object | None = None) -> str:
     """A human-readable counter dump for a design.
 
     ``metrics`` is an optional

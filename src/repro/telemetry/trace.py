@@ -48,41 +48,53 @@ class NullTracer:
     enabled = False
 
     # -- kernel ----------------------------------------------------------
-    def cycle_start(self, cycle):
+    def cycle_start(self, cycle: int) -> None:
         pass
 
     # -- NoC links -------------------------------------------------------
-    def flit_forwarded(self, cycle, coord, port, flit):
+    def flit_forwarded(self, cycle: int, coord: tuple,
+                       port: object, flit: object) -> None:
         pass
 
-    def link_stall(self, cycle, coord, port, kind):
+    def link_stall(self, cycle: int, coord: tuple,
+                   port: object, kind: str) -> None:
         pass
 
     # -- local ports -----------------------------------------------------
-    def inject_start(self, cycle, coord, message):
+    def inject_start(self, cycle: int, coord: tuple,
+                     message: object) -> None:
         pass
 
-    def inject_end(self, cycle, coord, message):
+    def inject_end(self, cycle: int, coord: tuple,
+                   message: object) -> None:
         pass
 
     # -- tiles -----------------------------------------------------------
-    def message_received(self, cycle, tile, message):
+    def message_received(self, cycle: int, tile: object,
+                         message: object) -> None:
         pass
 
-    def processing_start(self, cycle, tile, message):
+    def processing_start(self, cycle: int, tile: object,
+                         message: object) -> None:
         pass
 
-    def processing_end(self, cycle, tile, message, outputs=0):
+    def processing_end(self, cycle: int, tile: object,
+                       message: object,
+                       outputs: int = 0) -> None:
         pass
 
-    def buffer_level(self, cycle, tile, flits):
+    def buffer_level(self, cycle: int, tile: object,
+                     flits: int) -> None:
         pass
 
-    def drop(self, cycle, tile, message, reason):
+    def drop(self, cycle: int, tile: object, message: object,
+             reason: str) -> None:
         pass
 
     # -- fault injection (repro.faults) ----------------------------------
-    def fault(self, cycle, kind, target, detail=None):
+    def fault(self, cycle: int, kind: str,
+              target: str | None,
+              detail: str | None = None) -> None:
         pass
 
 
@@ -146,7 +158,7 @@ class Tracer(NullTracer):
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.spans: list[TileSpan] = []
         self.inject_spans: list[InjectSpan] = []
         self.drops: list[DropEvent] = []
@@ -161,36 +173,44 @@ class Tracer(NullTracer):
 
     # -- hooks ------------------------------------------------------------
 
-    def cycle_start(self, cycle):
+    def cycle_start(self, cycle: int) -> None:
         self.last_cycle = cycle
 
-    def flit_forwarded(self, cycle, coord, port, flit):
+    def flit_forwarded(self, cycle: int, coord: tuple,
+                       port: object, flit: object) -> None:
         self.link_flits.append((cycle, coord, port))
 
-    def link_stall(self, cycle, coord, port, kind):
+    def link_stall(self, cycle: int, coord: tuple,
+                   port: object, kind: str) -> None:
         self.link_stalls.append((cycle, coord, port, kind))
 
-    def inject_start(self, cycle, coord, message):
+    def inject_start(self, cycle: int, coord: tuple,
+                     message: object) -> None:
         span = InjectSpan(coord=coord, msg_id=message.msg_id,
                           packet_id=message.packet_id, start=cycle,
                           end=None)
         self._inject_pending[(coord, message.msg_id)] = span
         self.inject_spans.append(span)
 
-    def inject_end(self, cycle, coord, message):
+    def inject_end(self, cycle: int, coord: tuple,
+                   message: object) -> None:
         span = self._inject_pending.pop((coord, message.msg_id), None)
         if span is not None:
             span.end = cycle
             span.packet_id = message.packet_id
 
-    def message_received(self, cycle, tile, message):
+    def message_received(self, cycle: int, tile: object,
+                         message: object) -> None:
         self._rx_pending[(tile.name, message.msg_id)] = cycle
 
-    def processing_start(self, cycle, tile, message):
+    def processing_start(self, cycle: int, tile: object,
+                         message: object) -> None:
         key = (tile.name, message.msg_id)
         self._svc_pending[key] = (self._rx_pending.pop(key, None), cycle)
 
-    def processing_end(self, cycle, tile, message, outputs=0):
+    def processing_end(self, cycle: int, tile: object,
+                       message: object,
+                       outputs: int = 0) -> None:
         key = (tile.name, message.msg_id)
         received, start = self._svc_pending.pop(key, (None, cycle))
         self.spans.append(TileSpan(
@@ -199,16 +219,20 @@ class Tracer(NullTracer):
             end=cycle, outputs=outputs,
         ))
 
-    def buffer_level(self, cycle, tile, flits):
+    def buffer_level(self, cycle: int, tile: object,
+                     flits: int) -> None:
         self.buffer_levels.append((cycle, tile.name, flits))
 
-    def drop(self, cycle, tile, message, reason):
+    def drop(self, cycle: int, tile: object, message: object,
+             reason: str) -> None:
         self.drops.append(DropEvent(
             cycle=cycle, tile=tile.name, coord=tile.coord,
             packet_id=getattr(message, "packet_id", None), reason=reason,
         ))
 
-    def fault(self, cycle, kind, target, detail=None):
+    def fault(self, cycle: int, kind: str,
+              target: str | None,
+              detail: str | None = None) -> None:
         self.faults.append(FaultEvent(
             cycle=cycle, kind=kind, target=target, detail=detail,
         ))
@@ -257,14 +281,15 @@ class Tracer(NullTracer):
         return last + 1
 
 
-def _iter_tiles(design):
+def _iter_tiles(design: object) -> list:
     tiles = design.tiles
     if isinstance(tiles, dict):
         return list(tiles.values())
     return list(tiles)
 
 
-def attach_tracer(design, tracer=None):
+def attach_tracer(design: object,
+                  tracer: Tracer | None = None) -> Tracer:
     """Wire ``tracer`` into a design's kernel, routers, ports and tiles.
 
     Returns the tracer (a fresh :class:`Tracer` if none was given).
@@ -286,7 +311,7 @@ def attach_tracer(design, tracer=None):
 # -- windowed metrics -------------------------------------------------------
 
 
-def percentile(values, q: float) -> float | None:
+def percentile(values: list, q: float) -> float | None:
     """Nearest-rank percentile (q in [0, 100]) of a sequence."""
     if not values:
         return None
@@ -311,7 +336,7 @@ class WindowSample:
     drops: Counter         # drop reason -> count
 
     @property
-    def busiest_link(self):
+    def busiest_link(self) -> tuple | None:
         """((coord, port), util) of the hottest link, or None."""
         if not self.link_util:
             return None
@@ -354,7 +379,8 @@ class MetricsWindow:
     reason.
     """
 
-    def __init__(self, tracer: Tracer, window_cycles: int = 500):
+    def __init__(self, tracer: Tracer,
+                 window_cycles: int = 500) -> None:
         if window_cycles < 1:
             raise ValueError("window_cycles must be >= 1")
         self.tracer = tracer

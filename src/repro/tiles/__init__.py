@@ -7,7 +7,7 @@ packet-level routing tables ("each tile hop determines the next tile",
 section IV-D), which the control plane can rewrite at runtime.
 """
 
-from repro.tiles.base import NextHopTable, PacketMeta, Tile
+from repro.tiles.base import DestDomain, NextHopTable, PacketMeta, Tile
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
 from repro.tiles.udp import UdpRxTile, UdpTxTile
@@ -23,6 +23,7 @@ __all__ = [
     "BufferReadReq",
     "BufferTile",
     "BufferWriteReq",
+    "DestDomain",
     "EthernetRxTile",
     "EthernetTxTile",
     "FlowHashLoadBalancerTile",

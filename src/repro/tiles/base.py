@@ -80,6 +80,44 @@ def flow_hash(key: tuple) -> int:
     return zlib.crc32(repr(key).encode()) & 0xFFFFFFFF
 
 
+@dataclass(frozen=True)
+class DestDomain:
+    """A tile's declared destination domain — the typed generalisation
+    of the ``lint_dest_coords()`` hook.
+
+    ``coords`` is the complete set of mesh coordinates the tile may
+    ever address, *including* destinations computed from packet data at
+    runtime (Dagger-style RPC dispatch, multi-tenant demux).  A tile
+    declares its domain through a ``dest_domain()`` method returning
+    one of these; :mod:`repro.analysis.dataflow` joins the declaration
+    against the tile's real routing state (``NextHopTable`` entries,
+    replica/stack lists) and flags coordinates that can never be
+    routed (BHV501), domain entries nothing emits (BHV502), and
+    runtime destinations outside the declaration (BHV503).
+
+    ``data_dependent`` marks domains whose concrete destination is
+    picked per packet rather than configured up front (flow hashing,
+    round-robin scheduling, RPC dispatch) — it documents why the
+    domain may be wider than any routing table ever shows.
+    """
+
+    coords: tuple[tuple[int, int], ...]
+    data_dependent: bool = False
+
+    @classmethod
+    def of(cls, coords: Iterable[tuple[int, int]],
+           data_dependent: bool = False) -> DestDomain:
+        """Normalise any iterable of coordinates into a domain."""
+        unique: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for coord in coords:
+            key = (int(coord[0]), int(coord[1]))
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        return cls(coords=tuple(unique), data_dependent=data_dependent)
+
+
 class NextHopTable:
     """A tile's packet-level routing component (section IV-D, V-B).
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.noc.mesh import Mesh
 from repro.noc.message import NocMessage
-from repro.tiles.base import Tile
+from repro.tiles.base import DestDomain, Tile
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,11 @@ class BufferTile(Tile):
         self.memory = bytearray(size_bytes)
         self.reads = 0
         self.writes = 0
+
+    def dest_domain(self) -> DestDomain:
+        """Purely data-dependent: every reply goes to the ``reply_to``
+        coordinate carried in the request being serviced."""
+        return DestDomain.of((), data_dependent=True)
 
     def _check_range(self, addr: int, length: int) -> bool:
         return 0 <= addr and addr + length <= self.size_bytes

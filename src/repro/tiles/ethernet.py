@@ -17,7 +17,7 @@ from repro.noc.mesh import Mesh
 from repro.noc.message import NocMessage, next_packet_id
 from repro.packet.ethernet import ETHERTYPE_IPV4, EthernetHeader, MacAddress
 from repro.packet.ipv4 import IPv4Address
-from repro.tiles.base import NextHopTable, PacketMeta, Tile
+from repro.tiles.base import DestDomain, NextHopTable, PacketMeta, Tile
 
 
 class EthernetRxTile(Tile):
@@ -96,6 +96,13 @@ class EthernetTxTile(Tile):
 
     def add_neighbor(self, ip: IPv4Address, mac: MacAddress) -> None:
         self.neighbor_macs[IPv4Address(ip)] = MacAddress(mac)
+
+    def dest_domain(self) -> DestDomain | None:
+        """A MAC-facing TX tile addresses nothing on the NoC; an inner
+        (overlay) TX tile addresses exactly its encapsulation tile."""
+        if self.emit_to_noc is None:
+            return None
+        return DestDomain.of((self.emit_to_noc,))
 
     def handle_message(self, message: NocMessage, cycle: int):
         meta: PacketMeta = message.metadata

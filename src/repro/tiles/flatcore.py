@@ -276,6 +276,7 @@ class FlatTileCore(Wakeable):
                 # flit, fault-filter it, feed the reassembler.
                 t._buffered_flits += 1
                 flit = eject._items.popleft()
+                port.flits_ejected += 1
                 fault_eject = port._fault_eject
                 if fault_eject is not None:
                     flit = fault_eject.filter(flit)

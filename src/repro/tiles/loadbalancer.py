@@ -15,7 +15,7 @@ from repro.packet.ethernet import EthernetHeader
 from repro.packet.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Header
 from repro.packet.tcp import TcpHeader
 from repro.packet.udp import UdpHeader
-from repro.tiles.base import Tile, flow_hash
+from repro.tiles.base import DestDomain, Tile, flow_hash
 
 
 class FlowHashLoadBalancerTile(Tile):
@@ -43,6 +43,11 @@ class FlowHashLoadBalancerTile(Tile):
     def lint_dest_coords(self) -> list[tuple[int, int]]:
         """Static-lint hook: frames may go to any registered stack."""
         return list(self.stacks)
+
+    def dest_domain(self) -> DestDomain:
+        """Declared destination domain: the flow hash picks a stack per
+        packet, but never anything outside the registered list."""
+        return DestDomain.of(self.stacks, data_dependent=True)
 
     def push_frame(self, frame: bytes, cycle: int) -> None:
         pseudo = NocMessage(dst=self.coord, src=self.coord, metadata=None,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.noc.mesh import Mesh
 from repro.noc.message import NocMessage
-from repro.tiles.base import Tile
+from repro.tiles.base import DestDomain, Tile
 
 
 class RoundRobinSchedulerTile(Tile):
@@ -32,6 +32,11 @@ class RoundRobinSchedulerTile(Tile):
     def lint_dest_coords(self) -> list[tuple[int, int]]:
         """Static-lint hook: requests may go to any registered replica."""
         return list(self.replicas)
+
+    def dest_domain(self) -> DestDomain:
+        """Declared destination domain: round-robin walks the replica
+        list and never leaves it."""
+        return DestDomain.of(self.replicas, data_dependent=True)
 
     def handle_message(self, message: NocMessage, cycle: int):
         if not self.replicas:

@@ -3,6 +3,7 @@
     python -m repro.tools.lint udp_echo
     python -m repro.tools.lint design.xml --json
     python -m repro.tools.lint --all
+    python -m repro.tools.lint udp_echo --sanitize --cycles 2000
     python -m repro.tools.lint --list-codes
 
 A target is either the name of a shipped design (see ``--list``) or a
@@ -11,6 +12,12 @@ analysis pass runs over the real objects — mesh, routers, next-hop
 tables, simulator components.  XML targets are first spec-linted, then
 built with :class:`repro.config.generate.GeneratedDesign` and analyzed
 the same way.
+
+``--sanitize`` additionally runs the dynamic sanitizer passes
+(BHV4xx): bounded instrumented simulations under one or more
+kernel/mesh/tile combos (``--combos scheduled/flat/flat``, repeatable)
+for ``--cycles`` cycles each.  ``--pass`` filters across both
+families; a sanitize-family pass name requires ``--sanitize``.
 
 Exit status: 0 clean (warnings allowed unless ``--strict``), 1 when
 any error-severity finding is reported, 2 when a target cannot be
@@ -23,8 +30,9 @@ import argparse
 import json
 import sys
 
-from repro.analysis import CODES, AnalysisReport, analyze
+from repro.analysis import CODES, SANITIZE_PASSES, AnalysisReport, analyze
 from repro.analysis.findings import Finding
+from repro.analysis.sanitize import DEFAULT_CYCLES, analyze_dynamic
 
 
 def _shipped_designs():
@@ -51,7 +59,8 @@ def _shipped_designs():
         "multi_stack": MultiStackDesign,
         "scaled_echo": ScaledEchoDesign,
         "tcp_server": TcpServerDesign,
-        "tcp_server_logged": lambda: TcpServerDesign(with_logging=True),
+        "tcp_server_logged":
+            lambda **kw: TcpServerDesign(with_logging=True, **kw),
         "rs": RsDesign,
         "vr_witness": VrWitnessDesign,
         "vxlan_echo": VxlanEchoDesign,
@@ -60,18 +69,85 @@ def _shipped_designs():
 
 def _demo_designs():
     """Seeded-bug targets: useful for demos and the linter's own tests,
-    deliberately excluded from ``--all``."""
-    from repro.analysis.demo import build_broken_wake_design
+    deliberately excluded from ``--all``.  One per finding family the
+    linter is supposed to catch — see :mod:`repro.analysis.demo`."""
+    from repro.analysis.demo import (
+        build_blind_forwarder_design,
+        build_broken_wake_design,
+        build_escaped_domain_design,
+        build_idle_liar_design,
+        build_leaky_eject_design,
+        build_phantom_dest_design,
+        build_stale_domain_design,
+        build_step_parity_design,
+    )
     from repro.deadlock.demo import Fig5Design
 
     return {
         "fig5a": lambda: Fig5Design("a"),
         "fig5b": lambda: Fig5Design("b"),
         "broken_wake": build_broken_wake_design,
+        "idle_liar": build_idle_liar_design,
+        "leaky_eject": build_leaky_eject_design,
+        "step_parity": build_step_parity_design,
+        "phantom_dest": build_phantom_dest_design,
+        "stale_domain": build_stale_domain_design,
+        "escaped_domain": build_escaped_domain_design,
+        "blind_forwarder": build_blind_forwarder_design,
     }
 
 
-def _lint_xml(path: str, passes) -> AnalysisReport:
+def _split_passes(passes, sanitize: bool, error) -> tuple[list | None,
+                                                          list | None]:
+    """Split ``--pass`` names into (static, sanitize) selections.
+
+    ``None`` means "all passes of that family".  A sanitize-family
+    name without ``--sanitize`` is an error: the dynamic passes run
+    simulations and must be asked for explicitly.
+    """
+    from repro.analysis import PASSES
+
+    if passes is None:
+        return None, (None if sanitize else [])
+    static = [p for p in passes if p in PASSES]
+    dynamic = [p for p in passes if p in SANITIZE_PASSES]
+    unknown = [p for p in passes
+               if p not in PASSES and p not in SANITIZE_PASSES]
+    if unknown:
+        error(f"unknown pass(es) {unknown}; static: "
+              f"{sorted(PASSES)}; sanitize: {sorted(SANITIZE_PASSES)}")
+    if dynamic and not sanitize:
+        error(f"pass(es) {dynamic} belong to the sanitizer family; "
+              "add --sanitize to run bounded simulations")
+    return static, (dynamic if sanitize else [])
+
+
+def _parse_combos(specs) -> list[tuple[str, str, str]] | None:
+    """``kernel/mesh/tile`` strings -> combo tuples (None: defaults)."""
+    if not specs:
+        return None
+    combos = []
+    for spec in specs:
+        parts = spec.split("/")
+        if len(parts) != 3 or not all(parts):
+            raise ValueError(
+                f"bad combo {spec!r}: expected kernel/mesh/tile, "
+                "e.g. scheduled/flat/flat")
+        combos.append(tuple(parts))
+    return combos
+
+
+def _sanitize_into(report: AnalysisReport, factory, name: str,
+                   passes, cycles: int, combos) -> None:
+    """Run the dynamic passes and fold the results into ``report``."""
+    dynamic = analyze_dynamic(factory, name=name, passes=passes,
+                              cycles=cycles, combos=combos)
+    report.extend(dynamic.findings)
+    report.passes_run.extend(dynamic.passes_run)
+
+
+def _lint_xml(path: str, passes, sanitize_passes=(), cycles: int = 0,
+              combos=None) -> AnalysisReport:
     """Spec-lint an XML file, then build it and run the instance passes.
 
     Build-time rejections (the generator's own validation and deadlock
@@ -106,12 +182,20 @@ def _lint_xml(path: str, passes) -> AnalysisReport:
     instance = analyze(design, name=report.target, passes=passes)
     report.extend(instance.findings)
     report.passes_run.extend(instance.passes_run)
+    if sanitize_passes is None or sanitize_passes:
+        _sanitize_into(report, lambda **kw: GeneratedDesign(spec, **kw),
+                       report.target, sanitize_passes, cycles, combos)
     return report
 
 
-def _lint_named(name: str, factory, passes) -> AnalysisReport:
+def _lint_named(name: str, factory, passes, sanitize_passes=(),
+                cycles: int = 0, combos=None) -> AnalysisReport:
     design = factory()
-    return analyze(design, name=name, passes=passes)
+    report = analyze(design, name=name, passes=passes)
+    if sanitize_passes is None or sanitize_passes:
+        _sanitize_into(report, factory, name, sanitize_passes, cycles,
+                       combos)
+    return report
 
 
 def _print_codes() -> None:
@@ -131,9 +215,11 @@ def _exit_code(report: AnalysisReport, strict: bool) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.lint",
-        description="Static analysis of Beehive designs: topology "
-                    "(BHV1xx), routing/deadlock (BHV2xx), and "
-                    "kernel wake contracts (BHV3xx).",
+        description="Analysis of Beehive designs: topology (BHV1xx), "
+                    "routing/deadlock (BHV2xx), kernel wake contracts "
+                    "(BHV3xx), data-flow routing (BHV5xx), and — with "
+                    "--sanitize — simulation-backed sanitizers "
+                    "(BHV4xx).",
     )
     parser.add_argument("targets", nargs="*",
                         help="shipped design name or design XML path")
@@ -149,13 +235,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="treat warnings as errors")
     parser.add_argument("--pass", action="append", dest="passes",
                         metavar="PASS",
-                        help="run only this pass (repeatable): "
-                             "structural, deadlock, wake-contract")
+                        help="run only this pass (repeatable). static: "
+                             "structural, deadlock, wake-contract, "
+                             "dataflow; sanitize (needs --sanitize): "
+                             "idle-truth, lost-wake, conservation, "
+                             "determinism")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="also run the dynamic sanitizer passes "
+                             "(bounded instrumented simulations)")
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
+                        metavar="N",
+                        help="simulated cycles per sanitizer run "
+                             f"(default {DEFAULT_CYCLES})")
+    parser.add_argument("--combos", action="append", metavar="K/M/T",
+                        help="kernel/mesh/tile combo for the sanitizer "
+                             "(repeatable), e.g. scheduled/flat/flat; "
+                             "default: scheduled over both backends")
     args = parser.parse_args(argv)
 
     if args.list_codes:
         _print_codes()
         return 0
+
+    static_passes, sanitize_passes = _split_passes(
+        args.passes, args.sanitize, parser.error)
+    try:
+        combos = _parse_combos(args.combos)
+    except ValueError as error:
+        parser.error(str(error))
+    if args.cycles < 1:
+        parser.error(f"--cycles must be >= 1, got {args.cycles}")
 
     shipped = _shipped_designs()
     demos = _demo_designs()
@@ -178,14 +287,17 @@ def main(argv: list[str] | None = None) -> int:
         if target in shipped or target in demos:
             factory = shipped.get(target) or demos[target]
             try:
-                report = _lint_named(target, factory, args.passes)
+                report = _lint_named(target, factory, static_passes,
+                                     sanitize_passes, args.cycles,
+                                     combos)
             except Exception as error:  # noqa: BLE001 - reported, not hidden
                 print(f"error: cannot build design {target!r}: {error}",
                       file=sys.stderr)
                 return 2
         elif target.endswith(".xml"):
             try:
-                report = _lint_xml(target, args.passes)
+                report = _lint_xml(target, static_passes,
+                                   sanitize_passes, args.cycles, combos)
             except OSError as error:
                 print(f"error: cannot read {target}: {error}",
                       file=sys.stderr)

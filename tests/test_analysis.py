@@ -107,14 +107,6 @@ class TestDeadlockPass:
         assert report.by_code("BHV201"), \
             "derived chains alone must expose the Fig 5a cycle"
 
-    def test_deprecated_import_warns_and_delegates(self):
-        import repro.deadlock as old
-        design = Fig5Design("a")
-        with pytest.warns(DeprecationWarning, match="repro.analysis"):
-            cycle = old.analyze_chains(design.chains,
-                                       design.tile_coords)
-        assert ((1, 0), Port.EAST) in cycle
-
 
 class TestWakeContractPass:
     def test_broken_wake_design_flagged(self):

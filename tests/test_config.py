@@ -16,7 +16,7 @@ from repro.config import (
     validate,
 )
 from repro.config.examples import UDP_ECHO_XML
-from repro.deadlock import DeadlockError
+from repro.analysis.deadlock import DeadlockError
 from repro.designs import FrameSink
 from repro.packet import (
     IPv4Address,

@@ -124,38 +124,3 @@ class TestRuntimeDeadlock:
             _, _, _, chain, coords = build_fig5_layout(variant)
             static = analyze_chains([chain], coords) is not None
             assert static == expect_deadlock
-
-
-class TestDeprecatedShim:
-    """repro.deadlock.analysis is a shim: it still resolves every name
-    but warns, pointing at the canonical home in repro.analysis."""
-
-    def test_access_warns_and_forwards(self):
-        import repro.analysis.deadlock as canonical
-        import repro.deadlock.analysis as shim
-
-        with pytest.warns(DeprecationWarning,
-                          match="repro.analysis.deadlock.analyze_chains"):
-            forwarded = shim.analyze_chains
-        assert forwarded is canonical.analyze_chains
-
-        with pytest.warns(DeprecationWarning):
-            assert shim.DeadlockError is canonical.DeadlockError
-
-    def test_unknown_attribute_raises(self):
-        import repro.deadlock.analysis as shim
-
-        with pytest.raises(AttributeError):
-            shim.not_a_thing
-
-    def test_package_import_stays_warning_free(self):
-        """Importing repro.deadlock (the supported surface) must not
-        warn — only the legacy analysis module does."""
-        import importlib
-        import warnings
-
-        import repro.deadlock
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            importlib.reload(repro.deadlock)

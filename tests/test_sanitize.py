@@ -1,0 +1,247 @@
+"""Tests for the dynamic sanitizer passes (BHV4xx) and the data-flow
+routing pass (BHV5xx), driven through their seeded-bug fixtures.
+
+Two properties per seeded bug:
+
+- *detection*: the fixture produces exactly its finding code;
+- *isolation*: no other pass misfires on it — the static passes stay
+  clean on dynamic bugs and vice versa.
+
+Plus the clean-design property: every shipped design sanitizes with
+zero findings, which is what the CI sanitizer-smoke job pins.
+"""
+
+import pytest
+
+from repro.analysis import SANITIZE_PASSES, analyze, analyze_dynamic
+from repro.analysis.demo import (
+    build_blind_forwarder_design,
+    build_broken_wake_design,
+    build_escaped_domain_design,
+    build_idle_liar_design,
+    build_leaky_eject_design,
+    build_phantom_dest_design,
+    build_stale_domain_design,
+    build_step_parity_design,
+)
+from repro.analysis.sanitize import (
+    DEFAULT_COMBOS,
+    NAIVE_REFERENCE,
+    build_design,
+    conservation_ledger,
+    default_traffic,
+)
+from repro.designs import UdpEchoDesign
+from repro.faults import FaultPlan
+
+
+def codes_of(report):
+    return sorted({f.code for f in report.findings})
+
+
+class TestCleanDesigns:
+    """Shipped designs carry no seeded bugs: the sanitizer must agree."""
+
+    @pytest.mark.parametrize("combo", list(DEFAULT_COMBOS),
+                             ids=lambda c: "/".join(c))
+    def test_udp_echo_sanitizes_clean(self, combo):
+        report = analyze_dynamic(UdpEchoDesign, name="udp_echo",
+                                 cycles=600, combos=[combo])
+        assert report.findings == [], report.render()
+        assert sorted(report.passes_run) == sorted(
+            f"sanitize:{p}" for p in SANITIZE_PASSES)
+
+    def test_udp_echo_clean_under_faults(self):
+        plan = FaultPlan(seed=3).wire(drop=0.02, corrupt=0.02)
+        report = analyze_dynamic(UdpEchoDesign, name="udp_echo",
+                                 cycles=600,
+                                 combos=[("scheduled", "flat", "flat")],
+                                 fault_plan=plan)
+        assert report.findings == [], report.render()
+
+    def test_tcp_server_sanitizes_clean(self):
+        from repro.designs import TcpServerDesign
+        report = analyze_dynamic(TcpServerDesign, name="tcp_server",
+                                 cycles=600,
+                                 combos=[("scheduled", "object",
+                                          "object")])
+        assert report.findings == [], report.render()
+
+
+class TestBrokenWake:
+    """The canonical lost-wakeup design: static BHV301 plus dynamic
+    BHV401/BHV402 — the sanitizer catching at runtime what the wake
+    pass predicts at lint time."""
+
+    def test_static_pass_predicts(self):
+        report = analyze(build_broken_wake_design(), name="broken_wake")
+        assert "BHV301" in codes_of(report)
+
+    def test_sanitizer_confirms_dynamically(self):
+        report = analyze_dynamic(build_broken_wake_design,
+                                 name="broken_wake", cycles=400)
+        codes = codes_of(report)
+        assert "BHV401" in codes
+        assert "BHV402" in codes
+
+
+class TestIdleLiar:
+    def test_bhv401_only(self):
+        report = analyze_dynamic(build_idle_liar_design,
+                                 name="idle_liar", cycles=400)
+        assert codes_of(report) == ["BHV401"]
+        finding = report.findings[0]
+        assert "liar" in finding.location
+
+    def test_static_passes_stay_silent(self):
+        report = analyze(build_idle_liar_design(), name="idle_liar")
+        assert report.findings == [], report.render()
+
+
+class TestLeakyEject:
+    def test_bhv403_only(self):
+        report = analyze_dynamic(build_leaky_eject_design,
+                                 name="leaky_eject", cycles=400)
+        assert codes_of(report) == ["BHV403"]
+        data = report.findings[0].data
+        assert data["injected"] > data["ejected"] + data["in_flight"]
+
+    def test_static_passes_stay_silent(self):
+        report = analyze(build_leaky_eject_design(), name="leaky_eject")
+        assert report.findings == [], report.render()
+
+
+class TestStepParity:
+    COMBOS = [("scheduled", "object", "object"), NAIVE_REFERENCE]
+
+    def test_bhv404_under_kernel_divergence(self):
+        report = analyze_dynamic(build_step_parity_design,
+                                 name="step_parity", cycles=400,
+                                 combos=self.COMBOS)
+        assert codes_of(report) == ["BHV404"]
+        assert report.findings[0].data["first_divergent_cycle"] >= 0
+
+    def test_clean_under_default_combos(self):
+        # Both default combos run the scheduled kernel, where the
+        # step-count-dependent behaviour is self-consistent.
+        report = analyze_dynamic(build_step_parity_design,
+                                 name="step_parity", cycles=400)
+        assert report.findings == [], report.render()
+
+    def test_static_passes_stay_silent(self):
+        report = analyze(build_step_parity_design(), name="step_parity")
+        assert report.findings == [], report.render()
+
+
+class TestDataflowFixtures:
+    """Each BHV5xx fixture produces exactly its code, statically, and
+    stays clean under the dynamic passes."""
+
+    CASES = [
+        (build_phantom_dest_design, "BHV501"),
+        (build_stale_domain_design, "BHV502"),
+        (build_escaped_domain_design, "BHV503"),
+        (build_blind_forwarder_design, "BHV504"),
+    ]
+
+    @pytest.mark.parametrize("builder,code", CASES,
+                             ids=[code for _, code in CASES])
+    def test_exactly_its_code(self, builder, code):
+        report = analyze(builder(), name=code)
+        assert codes_of(report) == [code], report.render()
+
+    @pytest.mark.parametrize("builder,code", CASES,
+                             ids=[code for _, code in CASES])
+    def test_dynamically_clean(self, builder, code):
+        report = analyze_dynamic(builder, name=code, cycles=400)
+        assert report.findings == [], report.render()
+
+
+class TestPassSelection:
+    def test_single_pass_runs_alone(self):
+        report = analyze_dynamic(build_idle_liar_design,
+                                 name="idle_liar", cycles=400,
+                                 passes=["idle-truth"])
+        assert report.passes_run == ["sanitize:idle-truth"]
+        assert codes_of(report) == ["BHV401"]
+
+    def test_unselected_pass_cannot_fire(self):
+        report = analyze_dynamic(build_leaky_eject_design,
+                                 name="leaky_eject", cycles=400,
+                                 passes=["idle-truth", "lost-wake",
+                                         "determinism"])
+        assert report.findings == [], report.render()
+
+    def test_unknown_pass_raises(self):
+        with pytest.raises(KeyError, match="unknown sanitize pass"):
+            analyze_dynamic(build_idle_liar_design, passes=["bogus"])
+
+    def test_bad_cycles_raises(self):
+        with pytest.raises(ValueError, match="cycles"):
+            analyze_dynamic(build_idle_liar_design, cycles=0)
+
+    def test_empty_combos_raises(self):
+        with pytest.raises(ValueError, match="combo"):
+            analyze_dynamic(build_idle_liar_design, combos=[])
+
+
+class TestConservationLedger:
+    def test_balances_on_a_clean_run(self):
+        design = UdpEchoDesign()
+        by_cycle = {}
+        for at, fn in default_traffic(design, 400):
+            by_cycle.setdefault(at, []).append(fn)
+        for cycle in range(400):
+            for fn in by_cycle.get(cycle, []):
+                fn()
+            design.sim.tick()
+        ledger = conservation_ledger(design.mesh)
+        assert ledger["injected"] == (ledger["ejected"]
+                                      + ledger["in_flight"])
+        assert ledger["injected"] > 0
+
+    def test_detects_off_books_loss(self):
+        design = build_design(build_leaky_eject_design,
+                              ("scheduled", "object", "object"))
+        design.send()
+        for _ in range(50):
+            design.sim.tick()
+        ledger = conservation_ledger(design.mesh)
+        assert ledger["injected"] > (ledger["ejected"]
+                                     + ledger["in_flight"])
+
+
+class TestBuildDesign:
+    def test_passes_full_combo_to_shipped_designs(self):
+        design = build_design(UdpEchoDesign, ("naive", "flat", "flat"))
+        assert design.sim.kernel == "naive"
+        assert design.sim.mesh_backend == "flat"
+
+    def test_drops_unsupported_kwargs_for_fixtures(self):
+        # Fixture builders accept only ``kernel``; the backend kwargs
+        # must be silently retried away, not crash the run.
+        design = build_design(build_idle_liar_design,
+                              ("scheduled", "flat", "flat"))
+        assert design.sim.kernel == "scheduled"
+
+    def test_unrelated_type_errors_still_raise(self):
+        def bad_factory(**kwargs):
+            raise TypeError("completely unrelated failure")
+        with pytest.raises(TypeError, match="unrelated"):
+            build_design(bad_factory, ("scheduled", "object", "object"))
+
+
+class TestDefaultTraffic:
+    def test_schedules_injections_for_frame_designs(self):
+        design = UdpEchoDesign()
+        actions = default_traffic(design, 1000)
+        assert actions, "expected scheduled traffic"
+        assert all(0 <= at < 1000 for at, _fn in actions)
+
+    def test_uses_send_hook_for_fixture_designs(self):
+        design = build_idle_liar_design()
+        # No inject, no send: an idle fixture gets an empty schedule.
+        actions = default_traffic(design, 1000)
+        assert actions == []
+        leaky = build_leaky_eject_design()
+        assert default_traffic(leaky, 1000), "send() hook not used"
