@@ -18,7 +18,7 @@ from repro.faults import attach_faults
 from repro.noc.flatmesh import build_mesh
 from repro.packet.ethernet import ETHERTYPE_IPV4, MacAddress
 from repro.packet.ipv4 import IPPROTO_UDP, IPv4Address
-from repro.sim.kernel import CycleSimulator
+from repro.sim.shard import make_simulator
 from repro.tiles.flatcore import register_tiles
 from repro.tiles.ethernet import EthernetRxTile, EthernetTxTile
 from repro.tiles.ip import IpRxTile, IpTxTile
@@ -49,7 +49,11 @@ class ScaledEchoDesign:
                  tile_backend: str = "flat",
                  width: int | None = None,
                  height: int | None = None,
-                 fault_plan=None):
+                 fault_plan=None,
+                 shards: int = 1,
+                 shard_transport: str = "loopback",
+                 shard_bounds: list[int] | None = None,
+                 app_coords: list[tuple[int, int]] | None = None):
         self.width = self.WIDTH if width is None else width
         self.height = self.HEIGHT if height is None else height
         if self.width < 3 or self.height < 2:
@@ -61,11 +65,14 @@ class ScaledEchoDesign:
             )
         self.n_apps = n_apps
         self.udp_port = udp_port
-        self.sim = CycleSimulator(kernel=kernel,
+        self.sim = make_simulator(kernel=kernel,
                                   mesh_backend=mesh_backend,
-                                  tile_backend=tile_backend)
+                                  tile_backend=tile_backend,
+                                  shards=shards,
+                                  shard_transport=shard_transport)
         self.mesh = build_mesh(self.width, self.height,
-                               backend=mesh_backend)
+                               backend=mesh_backend, shards=shards,
+                               shard_bounds=shard_bounds)
 
         self.eth_rx = EthernetRxTile("eth_rx", self.mesh, (0, 0),
                                      my_mac=SERVER_MAC)
@@ -79,12 +86,35 @@ class ScaledEchoDesign:
         self.ip_tx = IpTxTile("ip_tx", self.mesh, (1, 1))
         self.udp_tx = UdpTxTile("udp_tx", self.mesh, (2, 1))
 
-        app_coords = [
-            (x, y)
-            for y in range(self.height)
-            for x in range(self.width)
-            if x > 2 or y > 1  # everything right of / below the stack
-        ]
+        # App placement: the default fills every non-stack coordinate
+        # row-major; an explicit ``app_coords`` pins replicas to chosen
+        # sites (e.g. the far-east columns, which spreads transit
+        # evenly over every column — the shard-scaling benchmark's
+        # operating point).  Either way the XY east-then-south /
+        # west-then-north discipline is re-verified below.
+        stack_coords = {(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)}
+        if app_coords is None:
+            app_coords = [
+                (x, y)
+                for y in range(self.height)
+                for x in range(self.width)
+                if x > 2 or y > 1  # right of / below the stack
+            ]
+        else:
+            app_coords = [tuple(coord) for coord in app_coords]
+            if len(set(app_coords)) != len(app_coords):
+                raise ValueError("app_coords has duplicates")
+            for coord in app_coords:
+                if coord in stack_coords:
+                    raise ValueError(
+                        f"app at {coord} collides with a stack tile")
+                if not (0 <= coord[0] < self.width
+                        and 0 <= coord[1] < self.height):
+                    raise ValueError(f"app at {coord} is off-mesh")
+            if len(app_coords) < n_apps:
+                raise ValueError(
+                    f"{n_apps} apps need {n_apps} app_coords, "
+                    f"got {len(app_coords)}")
         self.apps = [
             UdpEchoAppTile(f"app{i}", self.mesh, app_coords[i])
             for i in range(n_apps)

@@ -158,6 +158,25 @@ class FlatRouterView:
         return f"FlatRouterView({self.coord})"
 
 
+class _FlatEgress:
+    """Sender-side stub for a cut output of a band core.
+
+    Mirrors the downstream ring the output *would* have: ``staged``
+    accumulates this cycle's pushes and ``visible`` tracks the credit
+    count — last exchange's committed occupancy of the peer shard's
+    ingress ring.  The shard boundary exchange drains ``staged`` and
+    applies the peer's pops each cycle (see repro.noc.shardmesh), so
+    the sender's room check ``visible + len(staged) < depth`` is
+    bit-identical to the unsharded lagged-credit check.
+    """
+
+    __slots__ = ("staged", "visible")
+
+    def __init__(self):
+        self.staged: list = []
+        self.visible = 0
+
+
 class FlatMeshCore(Wakeable):
     """The entire mesh as one clocked component.
 
@@ -171,16 +190,25 @@ class FlatMeshCore(Wakeable):
     name = "flatmesh.core"
     tracer = NULL_TRACER
 
-    def __init__(self, width: int, height: int, depth: int, route_fn):
+    def __init__(self, width: int, height: int, depth: int, route_fn,
+                 x_offset: int = 0, full_width: int | None = None):
         self.width = width
         self.height = height
         self.depth = depth
         self.route_fn = route_fn
+        # Band geometry (repro.sim.shard): ``width`` columns of a
+        # ``full_width``-wide design, starting at global column
+        # ``x_offset``.  Coordinates are global; an unsharded core has
+        # x_offset == 0 and full_width == width, and behaves exactly
+        # as before.
+        self.x_offset = x_offset
+        self.full_width = width if full_width is None else full_width
         n = width * height
         self.n_routers = n
         n5 = n * _N_PORTS
         self.coords: list[tuple[int, int]] = [
-            (x, y) for y in range(height) for x in range(width)
+            (x, y) for y in range(height)
+            for x in range(x_offset, x_offset + width)
         ]
         # Adapter boundary: LOCAL inputs are real StagedFifos so
         # LocalPort (and the linter's wake checks) see ordinary queues.
@@ -195,6 +223,13 @@ class FlatMeshCore(Wakeable):
         self._counts: list[int] = [0] * n5      # committed items
         self._stageds: list[int] = [0] * n5     # staged (this cycle)
         self._dirty: list[int] = []             # fids staged this cycle
+        # Committed occupancy as of the last cycle boundary — the
+        # credit count the upstream router sees (StagedFifo._visible
+        # flattened).  Refreshed at commit from the dirty and popped
+        # lists, giving inter-router credit return its one cycle of
+        # lag (see repro.noc.router's module docstring).
+        self._vis: list[int] = [0] * n5
+        self._popped: list[int] = []            # fids popped this cycle
         # Wormhole allocation state, mirroring Router._grant/_rr.
         self._grant: list[int] = [-1] * n5
         self._rr: list[int] = [0] * n5
@@ -206,16 +241,24 @@ class FlatMeshCore(Wakeable):
         # port), -1 where the mesh edge leaves the output unconnected.
         # LOCAL outputs resolve through _ejects instead.
         self._down: list[int] = [-1] * n5
-        for r, (x, y) in enumerate(self.coords):
+        for r in range(n):
+            # Band-local column (coords are global, wiring is in-band).
+            bx = r % width
+            y = r // width
             base = r * _N_PORTS
-            if x + 1 < width:
+            if bx + 1 < width:
                 self._down[base + _EAST] = (r + 1) * _N_PORTS + _WEST
-            if x > 0:
+            if bx > 0:
                 self._down[base + _WEST] = (r - 1) * _N_PORTS + _EAST
             if y > 0:
                 self._down[base + _NORTH] = (r - width) * _N_PORTS + _SOUTH
             if y + 1 < height:
                 self._down[base + _SOUTH] = (r + width) * _N_PORTS + _NORTH
+        # Boundary egress stubs (repro.sim.shard): a cut east/west
+        # output gets a _FlatEgress here instead of a downstream ring.
+        # None for an unsharded core — the step loop then never looks
+        # past the ``dfid < 0`` edge test, keeping the hot path intact.
+        self._egress: list | None = None
         # Downstream router index per output fid (saves a division in
         # the per-flit push path).
         self._down_router: list[int] = [
@@ -293,14 +336,22 @@ class FlatMeshCore(Wakeable):
         port._kernel_wake = hook
 
     def _route_row(self, r: int) -> list[int]:
-        """Build (once) the dst -> out-port table for router ``r``."""
-        width = self.width
+        """Build (once) the dst -> out-port table for router ``r``.
+
+        The table spans the *full* grid (``full_width`` columns), not
+        just this band: a band core routes flits bound for other
+        shards toward its cut edge, where the boundary egress takes
+        over.
+        """
+        full_width = self.full_width
         route_fn = self.route_fn
         here = self.coords[r]
-        row = [0] * (self.n_routers)
-        for d, dst in enumerate(self.coords):
-            port = route_fn(here, dst)
-            row[d] = _ALL_PORTS.index(port)
+        row = [0] * (full_width * self.height)
+        d = 0
+        for y in range(self.height):
+            for x in range(full_width):
+                row[d] = _ALL_PORTS.index(route_fn(here, (x, y)))
+                d += 1
         self._route_rows[r] = row
         return row
 
@@ -346,6 +397,8 @@ class FlatMeshCore(Wakeable):
         heads = self._heads
         counts = self._counts
         stageds = self._stageds
+        vis = self._vis
+        popped = self._popped
         dirty = self._dirty
         dirty_eject = self._dirty_eject
         grant = self._grant
@@ -362,8 +415,11 @@ class FlatMeshCore(Wakeable):
         fwd = self._fwd
         fwd_out = self._fwd_out
         depth = self.depth
-        width = self.width
+        # Routing bounds/stride use the FULL grid — a band core's
+        # tables cover every global destination (see _route_row).
+        width = self.full_width
         height = self.height
+        egress = self._egress
         tracer = self.tracer
         traced = tracer.enabled
         n_ports = _N_PORTS
@@ -439,8 +495,18 @@ class FlatMeshCore(Wakeable):
                 if out_index:
                     dfid = down[ofid]
                     if dfid < 0:
-                        continue
-                    room = counts[dfid] + stageds[dfid] < depth
+                        eg = None if egress is None else egress[ofid]
+                        if eg is None:
+                            continue
+                        # Cut link (repro.sim.shard): credits live in
+                        # the boundary egress — the same lagged
+                        # contract, maintained by the shard exchange.
+                        room = eg.visible + len(eg.staged) < depth
+                    else:
+                        # Lagged credit return: last cycle's committed
+                        # occupancy plus this router's own staged
+                        # pushes.
+                        room = vis[dfid] + stageds[dfid] < depth
                 else:
                     eject = ejects[r]
                     if eject is None:
@@ -475,21 +541,28 @@ class FlatMeshCore(Wakeable):
                         req[sfid] = -2
                         ring_occ[r] -= 1
                         ring_total -= 1
+                        popped.append(sfid)
                     else:
                         flit = local_items.popleft()
                         req[base] = -2
                     if out_index:
-                        slot = heads[dfid] + counts[dfid] + stageds[dfid]
-                        if slot >= depth:
-                            slot -= depth
-                        queues[dfid][slot] = flit
-                        if not stageds[dfid]:
-                            dirty.append(dfid)
-                        stageds[dfid] += 1
-                        dr = down_router[ofid]
-                        ring_occ[dr] += 1
-                        busy |= 1 << dr
-                        ring_total += 1
+                        if dfid < 0:
+                            # Cut link: accumulate in the boundary
+                            # egress; the shard exchange ships it.
+                            eg.staged.append(flit)
+                        else:
+                            slot = (heads[dfid] + counts[dfid]
+                                    + stageds[dfid])
+                            if slot >= depth:
+                                slot -= depth
+                            queues[dfid][slot] = flit
+                            if not stageds[dfid]:
+                                dirty.append(dfid)
+                            stageds[dfid] += 1
+                            dr = down_router[ofid]
+                            ring_occ[dr] += 1
+                            busy |= 1 << dr
+                            ring_total += 1
                     else:
                         # eject.push_unchecked(flit) inlined: stage the
                         # flit, then fire the consumer wake hooks.
@@ -536,21 +609,28 @@ class FlatMeshCore(Wakeable):
                         req[sfid] = -2
                         ring_occ[r] -= 1
                         ring_total -= 1
+                        popped.append(sfid)
                     else:
                         flit = local_items.popleft()
                         req[base] = -2
                     if out_index:
-                        slot = heads[dfid] + counts[dfid] + stageds[dfid]
-                        if slot >= depth:
-                            slot -= depth
-                        queues[dfid][slot] = flit
-                        if not stageds[dfid]:
-                            dirty.append(dfid)
-                        stageds[dfid] += 1
-                        dr = down_router[ofid]
-                        ring_occ[dr] += 1
-                        busy |= 1 << dr
-                        ring_total += 1
+                        if dfid < 0:
+                            # Cut link: accumulate in the boundary
+                            # egress; the shard exchange ships it.
+                            eg.staged.append(flit)
+                        else:
+                            slot = (heads[dfid] + counts[dfid]
+                                    + stageds[dfid])
+                            if slot >= depth:
+                                slot -= depth
+                            queues[dfid][slot] = flit
+                            if not stageds[dfid]:
+                                dirty.append(dfid)
+                            stageds[dfid] += 1
+                            dr = down_router[ofid]
+                            ring_occ[dr] += 1
+                            busy |= 1 << dr
+                            ring_total += 1
                     else:
                         # eject.push_unchecked(flit) inlined: stage the
                         # flit, then fire the consumer wake hooks.
@@ -622,6 +702,7 @@ class FlatMeshCore(Wakeable):
     def commit(self) -> None:
         counts = self._counts
         stageds = self._stageds
+        vis = self._vis
         dirty = self._dirty
         req = self._req
         if dirty:
@@ -632,9 +713,18 @@ class FlatMeshCore(Wakeable):
                 depth = counts[fid] + stageds[fid]
                 counts[fid] = depth
                 stageds[fid] = 0
+                vis[fid] = depth
                 if depth > hw[fid]:
                     hw[fid] = depth
             dirty.clear()
+        popped = self._popped
+        if popped:
+            # Publish this cycle's credit releases at the boundary; a
+            # fid both popped and pushed was already refreshed above
+            # (re-assigning the merged count is idempotent).
+            for fid in popped:
+                vis[fid] = counts[fid]
+            popped.clear()
         dirty_local = self._dirty_local
         if dirty_local:
             busy = self._busy_mask
@@ -658,6 +748,51 @@ class FlatMeshCore(Wakeable):
                 if len(eject._items) > eject.high_water:
                     eject.high_water = len(eject._items)
             dirty_eject.clear()
+
+    # -- shard boundary hooks (repro.sim.shard) ---------------------------
+
+    def set_boundary_egress(self, fid: int, eg: _FlatEgress) -> None:
+        """Route the cut output ``fid`` into a boundary egress stub."""
+        if self._egress is None:
+            self._egress = [None] * (self.n_routers * _N_PORTS)
+        self._egress[fid] = eg
+
+    def boundary_ingest(self, fid: int, flits) -> None:
+        """Apply boundary flits into ingress ring ``fid``.
+
+        Called by the shard exchange after this core's tick; the body
+        is ``commit``'s dirty-ring publication for a ring no in-band
+        router pushes to — same head-cache invalidation, occupancy,
+        high-water and wake effects, so the receiving router sees the
+        flits exactly as if an in-band upstream had staged them this
+        cycle.
+        """
+        if not flits:
+            return
+        q = self._queues[fid]
+        depth = self.depth
+        count = self._counts[fid]
+        if count == 0:
+            self._req[fid] = -2  # first flit becomes the new head
+        head = self._heads[fid]
+        for flit in flits:
+            slot = head + count
+            if slot >= depth:
+                slot -= depth
+            q[slot] = flit
+            count += 1
+        n = count - self._counts[fid]
+        self._counts[fid] = count
+        self._vis[fid] = count
+        if count > self._hw[fid]:
+            self._hw[fid] = count
+        r = fid // _N_PORTS
+        self._ring_occ[r] += n
+        self._ring_total += n
+        self._busy_mask |= 1 << r
+        wake = self._kernel_wake
+        if wake is not None:
+            wake()
 
     # -- statistics -------------------------------------------------------
 
@@ -690,7 +825,8 @@ class FlatMesh:
 
     def __init__(self, width: int, height: int,
                  fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
-                 routing: str = "xy"):
+                 routing: str = "xy", x_offset: int = 0,
+                 full_width: int | None = None):
         if width < 1 or height < 1:
             raise ValueError(f"bad mesh dimensions {width}x{height}")
         try:
@@ -701,7 +837,10 @@ class FlatMesh:
         self.width = width
         self.height = height
         self.routing = routing
-        self.core = FlatMeshCore(width, height, fifo_depth, route_fn)
+        self.x_offset = x_offset
+        self.core = FlatMeshCore(width, height, fifo_depth, route_fn,
+                                 x_offset=x_offset,
+                                 full_width=full_width)
         self.routers: dict[tuple[int, int], FlatRouterView] = {
             coord: FlatRouterView(self.core, index, coord)
             for index, coord in enumerate(self.core.coords)
@@ -764,7 +903,9 @@ class FlatMesh:
 
 def build_mesh(width: int, height: int,
                fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
-               routing: str = "xy", backend: str = "object"):
+               routing: str = "xy", backend: str = "object",
+               shards: int = 1,
+               shard_bounds: list[int] | None = None):
     """Construct a mesh with the selected backend.
 
     ``backend="object"`` returns the classic per-object
@@ -772,7 +913,19 @@ def build_mesh(width: int, height: int,
     :class:`FlatMesh`.  Both expose the same construction/attachment
     API and are proven cycle- and trace-identical by the differential
     equivalence suite.
+
+    ``shards > 1`` returns a :class:`~repro.noc.shardmesh.ShardedMesh`
+    — ``shards`` contiguous column-band meshes of the requested
+    backend stitched by boundary links — for use with a sharded
+    simulator (:func:`repro.sim.shard.make_simulator`).
+    ``shard_bounds`` optionally pins the per-shard band widths (they
+    must sum to ``width``) instead of the default even split.
     """
+    if shards > 1:
+        from repro.noc.shardmesh import ShardedMesh
+        return ShardedMesh(width, height, fifo_depth=fifo_depth,
+                           routing=routing, backend=backend,
+                           shards=shards, shard_bounds=shard_bounds)
     if backend == "flat":
         return FlatMesh(width, height, fifo_depth=fifo_depth,
                         routing=routing)

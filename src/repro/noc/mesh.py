@@ -154,7 +154,16 @@ class LocalPort(Wakeable):
 
 
 class Mesh:
-    """A width x height 2D mesh of wormhole routers."""
+    """A width x height 2D mesh of wormhole routers.
+
+    ``x_offset`` shifts the router coordinates east without changing
+    the geometry: a band mesh built with ``x_offset=2, width=3`` hosts
+    the global columns 2..4 of a wider design, keyed by their *global*
+    coordinates.  The sharded engine (:mod:`repro.sim.shard`) builds
+    one band per shard and stitches the cut east/west links with
+    boundary stubs; an unsharded mesh keeps ``x_offset=0`` and is
+    wired exactly as before.
+    """
 
     #: Ports are standalone simulator components here — one attached
     #: after ``register`` must be added to the simulator by the
@@ -163,7 +172,7 @@ class Mesh:
 
     def __init__(self, width: int, height: int,
                  fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
-                 routing: str = "xy"):
+                 routing: str = "xy", x_offset: int = 0):
         if width < 1 or height < 1:
             raise ValueError(f"bad mesh dimensions {width}x{height}")
         from repro.noc.routing import xy_route, yx_route
@@ -175,22 +184,26 @@ class Mesh:
         self.width = width
         self.height = height
         self.routing = routing
+        self.x_offset = x_offset
         self.routers: dict[tuple[int, int], Router] = {}
         for y in range(height):
-            for x in range(width):
+            for x in range(x_offset, x_offset + width):
                 self.routers[(x, y)] = Router((x, y), fifo_depth,
                                               route_fn=route_fn)
         self._wire()
         self._ports: dict[tuple[int, int], LocalPort] = {}
 
     def _wire(self) -> None:
+        # Neighbour-presence wiring (rather than arithmetic bounds) so
+        # a band mesh leaves its cut east/west outputs unconnected for
+        # the shard engine's boundary stubs.
         for (x, y), router in self.routers.items():
-            if x + 1 < self.width:
-                east = self.routers[(x + 1, y)]
+            east = self.routers.get((x + 1, y))
+            if east is not None:
                 router.connect_output(Port.EAST, east.inputs[Port.WEST])
                 east.connect_output(Port.WEST, router.inputs[Port.EAST])
-            if y + 1 < self.height:
-                south = self.routers[(x, y + 1)]
+            south = self.routers.get((x, y + 1))
+            if south is not None:
                 router.connect_output(Port.SOUTH, south.inputs[Port.NORTH])
                 south.connect_output(Port.NORTH, router.inputs[Port.SOUTH])
 

@@ -10,7 +10,12 @@ about (Fig. 5).
 
 Transfers are staged through :class:`repro.sim.kernel.StagedFifo`, so a
 flit moved this cycle is visible downstream next cycle: one cycle per
-hop, one flit per link per cycle.
+hop, one flit per link per cycle.  Credit return is symmetric: a pop
+from a router input FIFO becomes visible to the upstream router only at
+the next cycle boundary (``StagedFifo._visible``), so *every*
+inter-router link — flits forward, credits backward — carries exactly
+one cycle of lookahead.  That is what lets :mod:`repro.sim.shard` cut
+the mesh between any two routers and synchronise shards once per cycle.
 """
 
 from __future__ import annotations
@@ -126,6 +131,22 @@ class Router:
             downstream = self._out_fifos[out_index]
             if downstream is None:
                 continue
+            cap = downstream.capacity
+            if out_index:
+                # Directional link: credit release is lagged one cycle
+                # (a pop becomes visible upstream at the next cycle
+                # boundary, like a hardware credit return crossing the
+                # link) — the sender sees last cycle's committed
+                # occupancy plus its own staged pushes.
+                room = (cap is None or
+                        downstream._visible + len(downstream._staged) < cap)
+            else:
+                # Ejection to the attached tile stays same-cycle: port
+                # and router live in the same clock domain (and always
+                # in the same shard).
+                room = (cap is None or
+                        len(downstream._items) + len(downstream._staged)
+                        < cap)
             owner = grant[out_index]
             if owner >= 0:
                 # Locked wormhole: move the owner's next body flit.
@@ -134,7 +155,7 @@ class Router:
                 items = in_fifos[owner]._items
                 if not items:
                     continue
-                if not downstream.can_accept():
+                if not room:
                     # Out of downstream credits: the whole chain of
                     # links behind this wormhole stalls.
                     if traced:
@@ -162,7 +183,7 @@ class Router:
                     in_index -= _N_PORTS
                 if wants[in_index] != out_index or moved & (1 << in_index):
                     continue
-                if not downstream.can_accept():
+                if not room:
                     # A head flit lost to downstream credit exhaustion;
                     # the output stays free this cycle.
                     if traced:
@@ -188,3 +209,8 @@ class Router:
         for fifo in self._in_fifos:
             if fifo._staged:
                 fifo.commit()
+            elif fifo._visible != len(fifo._items):
+                # Pop-only cycle: publish the credit release at the
+                # cycle boundary so the upstream router sees it next
+                # cycle (the lagged credit-return contract).
+                fifo._visible = len(fifo._items)

@@ -130,7 +130,7 @@ class StagedFifo:
     """
 
     __slots__ = ("capacity", "name", "high_water", "_items", "_staged",
-                 "_wakers")
+                 "_wakers", "_visible")
 
     def __init__(self, capacity: int | None = None, name: str = "fifo"):
         if capacity is not None and capacity < 1:
@@ -145,6 +145,15 @@ class StagedFifo:
         self._items: deque = deque()
         self._staged: list = []
         self._wakers: list[Callable[[], None]] = []
+        #: Committed occupancy as of the last commit boundary — the
+        #: credit count a link-level producer sees.  Router-to-router
+        #: links release credits with one cycle of lag (a pop becomes
+        #: visible upstream only at the next cycle boundary, like a
+        #: hardware credit return crossing the link), which is what
+        #: gives every inter-router link a full cycle of lookahead and
+        #: lets the sharded engine cut the mesh anywhere between
+        #: routers (see repro.sim.shard).
+        self._visible = 0
 
     def __len__(self) -> int:
         """Number of committed (visible) items."""
@@ -194,8 +203,12 @@ class StagedFifo:
         if self._staged:
             self._items.extend(self._staged)
             self._staged.clear()
-            if len(self._items) > self.high_water:
-                self.high_water = len(self._items)
+            depth = len(self._items)
+            if depth > self.high_water:
+                self.high_water = depth
+            self._visible = depth
+        elif self._visible != len(self._items):
+            self._visible = len(self._items)
 
     def drain(self) -> list:
         """Pop and return *everything*: committed items, then staged.
@@ -211,6 +224,7 @@ class StagedFifo:
         out.extend(self._staged)
         self._items.clear()
         self._staged.clear()
+        self._visible = 0
         return out
 
 
@@ -286,7 +300,12 @@ class CycleSimulator:
         self._prune_interval_cfg = prune_interval
         self._total_weight = 0          # effective component count
         self._sat_limit = 0.0           # threshold * len(components)
-        self._prune_interval = prune_interval or 32
+        # Adaptive pruning cadence (no explicit prune_interval): start
+        # at the floor and let the controller in _tick_scheduled adapt
+        # within [_PRUNE_FLOOR, _PRUNE_CAP] from what pruning ticks
+        # actually find.  An explicit setting stays fixed.
+        self._adaptive = prune_interval is None
+        self._prune_interval = prune_interval or self._PRUNE_FLOOR
         # Stats (scheduled kernel only; stay 0 under naive).
         self.idle_cycles_skipped = 0
         self.component_steps = 0
@@ -296,14 +315,25 @@ class CycleSimulator:
         """Active-weight fraction above which the bypass engages."""
         return self._saturation_threshold
 
+    #: Adaptive prune-cadence bounds: the controller never checks more
+    #: often than every _PRUNE_FLOOR cycles under saturation, and never
+    #: lets more than _PRUNE_CAP bypass cycles pass without one full
+    #: pruning sweep (the bound on how stale the active set can get).
+    _PRUNE_FLOOR = 32
+    _PRUNE_CAP = 4096
+
     @property
     def prune_interval(self) -> int:
         """Cycles between pruning ticks while the bypass is engaged.
 
-        Defaults to the smallest power of two covering the registered
-        component weight (clamped to [32, 1024]): small designs keep
-        the original 32-cycle cadence, while very large meshes amortise
-        the full idle sweep over proportionally more cycles.
+        With no explicit ``prune_interval=``, the cadence is adaptive:
+        every pruning tick that finds nothing to prune doubles the
+        interval (a genuinely saturated design pays ever fewer full
+        sweeps), and any tick that *does* prune — or any cycle below
+        the saturation threshold — resets it to the floor, so a
+        draining design is detected within one floor-interval.  Bounds
+        are [32, 4096].  An explicit setting disables the controller
+        and stays fixed.
         """
         return self._prune_interval
 
@@ -340,9 +370,6 @@ class CycleSimulator:
         self._total_weight += int(getattr(component, "kernel_weight", 1))
         self._sat_limit = (self._saturation_threshold
                            * len(self._components))
-        if self._prune_interval_cfg is None:
-            self._prune_interval = 1 << max(
-                5, min(10, self._total_weight.bit_length()))
         self._active.add(component)
         self._contracts[component] = (
             getattr(component, "is_idle", None),
@@ -500,9 +527,9 @@ class CycleSimulator:
         # one cheap entry however many components it absorbs — but the
         # design-size gate uses effective weight, so a design that is
         # large only through such a core still qualifies.
-        if (self._total_weight >= 16
-                and len(self._active) > self._sat_limit
-                and cycle % self._prune_interval):
+        saturated = (self._total_weight >= 16
+                     and len(self._active) > self._sat_limit)
+        if saturated and cycle % self._prune_interval:
             if self.tracer.enabled:
                 self.tracer.cycle_start(cycle)
             components = self._components
@@ -541,17 +568,32 @@ class CycleSimulator:
             fifo.commit()
         contracts = self._contracts
         active = self._active
+        pruned = 0
         for component in stepping:
             is_idle, next_event = contracts[component]
             if is_idle is None or not is_idle():
                 continue
             active.discard(component)
             self._active_dirty = True
+            pruned += 1
             if next_event is None:
                 continue
             deadline = next_event()
             if deadline is not None:
                 self._arm_timer(component, max(deadline, cycle + 1))
+        if self._adaptive:
+            # Adapt the pruning cadence to what this tick observed: a
+            # saturated sweep that pruned nothing doubles the interval
+            # (up to the cap), one that found idle components — or any
+            # cycle below the saturation threshold — resets it to the
+            # floor so draining load is noticed promptly.
+            if saturated:
+                if pruned:
+                    self._prune_interval = self._PRUNE_FLOOR
+                elif self._prune_interval < self._PRUNE_CAP:
+                    self._prune_interval *= 2
+            elif self._prune_interval != self._PRUNE_FLOOR:
+                self._prune_interval = self._PRUNE_FLOOR
         self.cycle = cycle + 1
 
     def sanitized_tick(self, observer) -> None:

@@ -5,6 +5,7 @@
     python -m repro.tools.bench --input BENCH_run.json \\
         --compare BENCH_baseline.json
     python -m repro.tools.bench --check BENCH_run.json
+    python -m repro.tools.bench --list
 
 Each ``benchmarks/bench_*.py`` module exposes one zero-argument
 ``run_*`` entry point (the convention the whole suite follows); the
@@ -25,6 +26,7 @@ direction is unknown are reported but never gate.
 from __future__ import annotations
 
 import argparse
+import ast
 import importlib.util
 import json
 import sys
@@ -156,7 +158,38 @@ def run_benchmark(path: str) -> dict:
     wall = perf_counter() - start
     metrics = flatten_metrics(result) if isinstance(
         result, (dict, list, tuple)) else {}
+    if not metrics:
+        raise ValueError(
+            f"{module_name}: {entry.__name__}() yielded no usable "
+            f"metrics — it returned {type(result).__name__}, but the "
+            "runner needs a dict (or list) with numeric leaves to "
+            "flatten into dotted metric names")
     return {"wall_s": wall, "metrics": metrics}
+
+
+def describe_benchmarks(root: str = "benchmarks") -> list[dict]:
+    """Discover ``bench_*.py`` modules under ``root`` without importing.
+
+    Each row carries the path, the ``run_*`` entry points found by
+    parsing the source (no side effects), and the first docstring
+    line; an unparseable file gets an ``error`` entry instead.
+    """
+    rows: list[dict] = []
+    for path in sorted(Path(root).glob("bench_*.py")):
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError as error:
+            rows.append({"path": str(path), "error": str(error)})
+            continue
+        summary = (ast.get_docstring(tree) or "").strip()
+        rows.append({
+            "path": str(path),
+            "entry_points": [node.name for node in tree.body
+                             if isinstance(node, ast.FunctionDef)
+                             and node.name.startswith("run_")],
+            "summary": summary.splitlines()[0] if summary else "",
+        })
+    return rows
 
 
 def run_suite(paths: list[str]) -> dict:
@@ -242,7 +275,13 @@ def main(argv: list[str] | None = None) -> int:
                     "document; compare documents as a regression gate.",
     )
     parser.add_argument("benchmarks", nargs="*",
-                        help="bench_*.py paths to execute")
+                        help="bench_*.py paths to execute (with "
+                             "--list: directories to scan)")
+    parser.add_argument("--list", action="store_true",
+                        dest="list_benches",
+                        help="list discoverable bench modules (from "
+                             "benchmarks/ or the given directories) "
+                             "and exit")
     parser.add_argument("--out", metavar="PATH",
                         help="write the result document here")
     parser.add_argument("--input", metavar="PATH",
@@ -258,6 +297,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative regression threshold "
                              "(default 0.05 = 5%%)")
     args = parser.parse_args(argv)
+
+    if args.list_benches:
+        roots = args.benchmarks or ["benchmarks"]
+        rows: list[dict] = []
+        for root in roots:
+            if not Path(root).is_dir():
+                print(f"error: {root}: not a directory",
+                      file=sys.stderr)
+                return 2
+            rows.extend(describe_benchmarks(root))
+        if not rows:
+            print(f"no bench_*.py modules under {', '.join(roots)}",
+                  file=sys.stderr)
+            return 2
+        for row in rows:
+            if "error" in row:
+                print(f"{row['path']}: unparseable ({row['error']})")
+                continue
+            entries = ", ".join(row["entry_points"]) \
+                or "NO run_* entry point"
+            line = f"{row['path']}: {entries}"
+            if row["summary"]:
+                line += f" -- {row['summary']}"
+            print(line)
+        return 0
 
     if args.check:
         try:
@@ -284,7 +348,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{bench_name}: {entry['wall_s']:.2f}s, "
                   f"{len(entry['metrics'])} metrics")
     else:
-        parser.error("give bench_*.py paths, or --input/--check")
+        parser.error("give bench_*.py paths, or --input/--check/--list")
         return 2  # unreachable; parser.error raises
 
     validate_bench_document(document)

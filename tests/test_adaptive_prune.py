@@ -1,0 +1,119 @@
+"""Adaptive prune-cadence controller (repro.sim.kernel).
+
+With no explicit ``prune_interval=``, the scheduled kernel adapts the
+saturation-bypass pruning cadence at runtime: a saturated pruning tick
+that finds nothing to prune doubles the interval (bounded by the cap),
+while any tick that prunes — or any cycle below the saturation
+threshold — resets it to the floor.  These tests pin the convergence
+behaviour on saturated and idle-heavy loads, and that an explicit
+setting never adapts.
+"""
+
+from repro.sim.kernel import CycleSimulator
+
+FLOOR = CycleSimulator._PRUNE_FLOOR
+CAP = CycleSimulator._PRUNE_CAP
+
+
+class Worker:
+    """Synthetic component whose idleness the test controls."""
+
+    kernel_weight = 1
+
+    def __init__(self, name: str, busy: bool = True) -> None:
+        self.name = name
+        self.busy = busy
+        self.steps = 0
+
+    def step(self, cycle: int) -> None:
+        self.steps += 1
+
+    def commit(self) -> None:
+        pass
+
+    def is_idle(self) -> bool:
+        return not self.busy
+
+    def next_event_cycle(self) -> int | None:
+        return None
+
+
+def make_sim(n_busy: int, n_idle: int = 0, **kwargs) -> tuple:
+    sim = CycleSimulator(**kwargs)
+    workers = [Worker(f"busy{i}") for i in range(n_busy)]
+    workers += [Worker(f"lazy{i}", busy=False) for i in range(n_idle)]
+    for worker in workers:
+        sim.add(worker)
+    return sim, workers
+
+
+class TestSaturatedLoad:
+    def test_interval_doubles_while_nothing_prunes(self):
+        # 20 always-busy components: saturated every cycle, every
+        # pruning tick finds nothing, so the cadence backs off
+        # geometrically from the floor.
+        sim, _ = make_sim(20)
+        assert sim.prune_interval == FLOOR
+        sim.run(100)  # pruning ticks at 0 and 64
+        assert sim.prune_interval == FLOOR * 4
+
+    def test_interval_converges_to_cap_and_stays(self):
+        sim, workers = make_sim(20)
+        sim.run(5000)
+        assert sim.prune_interval == CAP
+        sim.run(5000)  # further cap-aligned ticks must not overshoot
+        assert sim.prune_interval == CAP
+        # The bypass still stepped everything every cycle.
+        assert all(w.steps == 10000 for w in workers)
+
+    def test_draining_load_resets_to_floor(self):
+        sim, workers = make_sim(20)
+        sim.run(5000)
+        assert sim.prune_interval == CAP
+        for worker in workers:
+            worker.busy = False
+        # The next cap-aligned pruning tick (cycle 8192) prunes the
+        # whole set and snaps the cadence back to the floor — the cap
+        # bounds detection latency.
+        sim.run(8200 - sim.cycle)
+        assert sim.prune_interval == FLOOR
+        assert sim.active_components == 0
+
+
+class TestIdleHeavyLoad:
+    def test_below_threshold_stays_at_floor(self):
+        # 2 busy of 20: after the first tick prunes the sleepers the
+        # active fraction sits below the saturation threshold, so the
+        # bypass never engages and the cadence never leaves the floor.
+        sim, workers = make_sim(2, n_idle=18)
+        sim.run(1000)
+        assert sim.prune_interval == FLOOR
+        # Sleepers were stepped once (the pruning tick that caught
+        # them), busy workers every cycle.
+        assert all(w.steps == 1000 for w in workers if w.busy)
+        assert all(w.steps == 1 for w in workers if not w.busy)
+
+    def test_resaturation_restarts_from_floor(self):
+        sim, workers = make_sim(20)
+        sim.run(5000)
+        assert sim.prune_interval == CAP
+        for worker in workers:
+            worker.busy = False
+        sim.run(8200 - sim.cycle)
+        assert sim.prune_interval == FLOOR
+        # Load returns: the climb starts over from the floor, not from
+        # the stale cap.
+        for worker in workers:
+            worker.busy = True
+            sim.wake(worker)
+        start = sim.cycle
+        sim.run(100)
+        assert FLOOR <= sim.prune_interval <= FLOOR * 8
+        assert sim.cycle == start + 100
+
+
+class TestExplicitSettingIsFixed:
+    def test_explicit_interval_never_adapts(self):
+        sim, _ = make_sim(20, prune_interval=100)
+        sim.run(5000)
+        assert sim.prune_interval == 100

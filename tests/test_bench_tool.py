@@ -146,3 +146,41 @@ class TestCli:
             "def run_scalability():\n    return {'x': 2}\n")
         result = run_benchmark(str(bench))
         assert result["metrics"] == {"x": 2.0}
+
+    def test_metricless_module_is_a_clear_error(self, tmp_path, capsys):
+        # A bench whose entry point returns nothing numeric must fail
+        # loudly, not produce an empty-but-valid document.
+        bench = tmp_path / "bench_silent.py"
+        bench.write_text("def run_silent():\n    return None\n")
+        with pytest.raises(ValueError, match="no usable metrics"):
+            run_benchmark(str(bench))
+        assert main([str(bench)]) == 2
+        err = capsys.readouterr().err
+        assert "no usable metrics" in err
+        assert "run_silent" in err
+
+    def test_non_numeric_result_is_a_clear_error(self, tmp_path):
+        bench = tmp_path / "bench_texty.py"
+        bench.write_text(
+            "def run_texty():\n    return {'note': 'fast!'}\n")
+        with pytest.raises(ValueError, match="no usable metrics"):
+            run_benchmark(str(bench))
+
+    def test_list_discovers_modules(self, tmp_path, capsys):
+        (tmp_path / "bench_alpha.py").write_text(
+            '"""Alpha bench.\n\ndetails\n"""\n'
+            "def run_alpha():\n    return {'x': 1}\n")
+        (tmp_path / "bench_beta.py").write_text(
+            "def helper():\n    pass\n")
+        (tmp_path / "not_a_bench.py").write_text("x = 1\n")
+        assert main(["--list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_alpha.py: run_alpha -- Alpha bench." in out
+        assert "bench_beta.py: NO run_* entry point" in out
+        assert "not_a_bench" not in out
+
+    def test_list_empty_or_missing_dir_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["--list", str(empty)]) == 2
+        assert main(["--list", str(tmp_path / "missing")]) == 2
