@@ -27,6 +27,14 @@ class FrameSource(Wakeable):
     ingress can conceptually accept one, modelling the paper's
     in-simulation 128 Gbps mode).  Injection pacing includes per-frame
     Ethernet wire overhead, like a real generator.
+
+    ``overrun`` decides what happens when the NIC's admission backlog
+    is full at an injection instant: ``"block"`` (default, the
+    closed-loop behaviour) polls until the backlog drains, stretching
+    the effective rate; ``"drop"`` keeps the offered clock honest —
+    the frame is *counted* in ``offered_dropped``/``drop_reasons`` and
+    discarded, never buffered, so memory stays flat however far
+    arrivals outrun admission.
     """
 
     def __init__(self, push: Callable[[bytes, int], None],
@@ -34,31 +42,41 @@ class FrameSource(Wakeable):
                  rate: float | None = 50.0,
                  count: int | None = None,
                  backlog: Callable[[], int] | None = None,
-                 max_backlog: int = 8):
+                 max_backlog: int = 8,
+                 overrun: str = "block"):
+        if overrun not in ("block", "drop"):
+            raise ValueError(
+                f"overrun must be 'block' or 'drop', not {overrun!r}")
         self.push = push
         self.frame_factory = frame_factory
         self.rate = rate
         self.count = count
         self.backlog = backlog
         self.max_backlog = max_backlog
+        self.overrun = overrun
         self.sent = 0
         self.bytes_sent = 0
+        self.offered = 0
+        self.offered_dropped = 0
+        self.drop_reasons: dict[str, int] = {}
         self._next_free = 0
         self._blocked = False
 
     @property
     def done(self) -> bool:
-        return self.count is not None and self.sent >= self.count
+        return self.count is not None and self.offered >= self.count
 
     def step(self, cycle: int) -> None:
         if self.done or cycle < self._next_free:
             return
-        if self.backlog is not None and self.backlog() >= self.max_backlog:
+        blocked = (self.backlog is not None
+                   and self.backlog() >= self.max_backlog)
+        if blocked and self.overrun == "block":
             # Polled until the backlog drains: nothing wakes a source.
             self._blocked = True
             return
         self._blocked = False
-        frame = self.frame_factory(self.sent)
+        frame = self.frame_factory(self.offered)
         wire_bytes = len(frame) + params.ETHERNET_OVERHEAD_BYTES
         if self.rate is not None:
             arrival = cycle + math.ceil(len(frame) / self.rate)
@@ -66,6 +84,16 @@ class FrameSource(Wakeable):
         else:
             arrival = cycle + 1
             self._next_free = cycle + 1
+        self.offered += 1
+        if blocked:
+            # Open-loop admission boundary: the arrival happened, the
+            # NIC had no room, the frame is lost — count it, never
+            # queue it.
+            self.offered_dropped += 1
+            reason = "offered: admission overrun"
+            self.drop_reasons[reason] = \
+                self.drop_reasons.get(reason, 0) + 1
+            return
         self.push(frame, arrival)
         self.sent += 1
         self.bytes_sent += len(frame)

@@ -45,7 +45,7 @@ class TcpServerDesign:
                  line_rate_bytes_per_cycle: float | None = 50.0,
                  max_flows: int = 8,
                  mss: int = params.TCP_MSS_BYTES,
-                 congestion_control: bool = False,
+                 congestion_control: bool | str = False,
                  kernel: str = "scheduled",
                  mesh_backend: str = "flat",
                  tile_backend: str = "flat",

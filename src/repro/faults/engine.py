@@ -228,6 +228,25 @@ class FaultEngine(Wakeable):
         port.fault_stalled = False
         self.record("noc.unstall", target=port.coord)
 
+    def _misroute_on(self, router, cycle: int) -> None:
+        router.fault_misroute(True)
+        self.record("noc.misroute_on", target=router.coord)
+
+    def _misroute_off(self, router, cycle: int) -> None:
+        router.fault_misroute(False)
+        self.record("noc.misroute_off", target=router.coord)
+
+    def _grant_stick(self, router, out_index: int, cycle: int) -> None:
+        router.fault_block_output(out_index, True)
+        self.record("noc.stuck_grant", target=router.coord,
+                    detail=out_index)
+
+    def _grant_release(self, router, out_index: int,
+                       cycle: int) -> None:
+        router.fault_block_output(out_index, False)
+        self.record("noc.grant_release", target=router.coord,
+                    detail=out_index)
+
     # -- clocked behaviour --------------------------------------------------
 
     def step(self, cycle: int) -> None:
@@ -301,6 +320,25 @@ def attach_faults(design, plan: FaultPlan | None):
         engine.schedule(at, lambda c, p=port: engine._stall(p, c))
         engine.schedule(at + duration,
                         lambda c, p=port: engine._unstall(p, c))
+
+    routers = design.mesh.routers
+    for kind, coord, port_index, at, duration in plan.router_events:
+        router = routers.get(tuple(coord))
+        if router is None:
+            raise KeyError(
+                f"fault plan targets unknown router {coord!r} "
+                f"(mesh has {sorted(routers)})")
+        if kind == "misroute":
+            engine.schedule(at, lambda c, r=router:
+                            engine._misroute_on(r, c))
+            engine.schedule(at + duration, lambda c, r=router:
+                            engine._misroute_off(r, c))
+        else:
+            engine.schedule(at, lambda c, r=router, o=port_index:
+                            engine._grant_stick(r, o, c))
+            engine.schedule(at + duration,
+                            lambda c, r=router, o=port_index:
+                            engine._grant_release(r, o, c))
 
     for coords, prob in plan.eject_corrupt:
         if not prob:

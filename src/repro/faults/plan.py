@@ -28,6 +28,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Output-port name -> hot-path index (repro.noc.router's encoding).
+_ROUTER_PORTS = {"local": 0, "east": 1, "west": 2, "north": 3,
+                 "south": 4}
+
 
 def _check_prob(name: str, value: float) -> float:
     value = float(value)
@@ -95,6 +99,11 @@ class FaultPlan:
         #: (role, shard, at_s, duration_s) for the event-level VR
         #: cluster (seconds, not cycles).
         self.vr_events: list[tuple[str, int, float, float]] = []
+        #: (kind, coord, port index or None, start cycle, duration)
+        #: router-internal fault windows, kind in {"misroute",
+        #: "stuck_grant"}.
+        self.router_events: list[
+            tuple[str, tuple[int, int], int | None, int, int]] = []
 
     # -- wire impairments ---------------------------------------------------
 
@@ -175,6 +184,41 @@ class FaultPlan:
         self.eject_corrupt.append((coords, prob))
         return self
 
+    def misroute(self, coord: tuple[int, int], at: int,
+                 duration: int) -> "FaultPlan":
+        """Misroute-one-hop window at the router at ``coord``: for
+        ``duration`` cycles starting the cycle after ``at``, every
+        routing decision the router makes deflects to the next
+        connected directional port (ejection is never deflected).
+        Deflected flits take a legal wrong turn and re-route at the
+        next hop, so traffic detours — and may transiently contend —
+        but still delivers once the window closes.  Deterministic and
+        bit-identical across the object and flat mesh backends."""
+        at, duration = _check_window(at, duration)
+        self.router_events.append(
+            ("misroute", tuple(coord), None, at, duration))
+        return self
+
+    def stuck_grant(self, coord: tuple[int, int], port, at: int,
+                    duration: int) -> "FaultPlan":
+        """Stuck-output-grant window: the router at ``coord`` stops
+        advancing its ``port`` output ("east"/"west"/"north"/"south"/
+        "local", or a :class:`repro.noc.routing.Port`) for ``duration``
+        cycles starting the cycle after ``at`` — as if the grant
+        arbiter wedged and downstream credits never returned.  The
+        owning wormhole holds its chain of links (the Fig. 5 stall
+        shape) until the window closes."""
+        at, duration = _check_window(at, duration)
+        port_name = str(getattr(port, "value", port)).lower()
+        if port_name not in _ROUTER_PORTS:
+            raise ValueError(
+                f"unknown router port {port!r} "
+                f"(choose from {sorted(_ROUTER_PORTS)})")
+        self.router_events.append(
+            ("stuck_grant", tuple(coord), _ROUTER_PORTS[port_name],
+             at, duration))
+        return self
+
     # -- event-level VR faults ----------------------------------------------
 
     def vr_freeze(self, role: str, shard: int, at_s: float,
@@ -203,6 +247,7 @@ class FaultPlan:
             and not self.stall_windows
             and not any(prob for _, prob in self.eject_corrupt)
             and not self.vr_events
+            and not self.router_events
         )
 
     def describe(self) -> str:
@@ -224,6 +269,13 @@ class FaultPlan:
         for coords, prob in self.eject_corrupt:
             where = "all ports" if coords is None else str(coords)
             lines.append(f"  corrupt ejected flits p={prob} at {where}")
+        for kind, coord, port_index, at, duration in self.router_events:
+            where = f"router {coord}"
+            if port_index is not None:
+                names = {v: k for k, v in _ROUTER_PORTS.items()}
+                where += f".{names[port_index]}"
+            lines.append(f"  {kind} {where}: "
+                         f"cycles ({at}, {at + duration}]")
         for role, shard, at_s, duration_s in self.vr_events:
             lines.append(f"  vr freeze {role}[{shard}]: "
                          f"[{at_s}s, {at_s + duration_s}s)")

@@ -44,7 +44,12 @@ contracts.
 from __future__ import annotations
 
 from repro.noc.mesh import LocalPort
-from repro.noc.router import _ALL_PORTS, _N_PORTS, _PORT_VALUES
+from repro.noc.router import (
+    _ALL_PORTS,
+    _N_PORTS,
+    _PORT_VALUES,
+    misroute_index,
+)
 from repro.noc.routing import Port, xy_route, yx_route
 from repro.params import ROUTER_INPUT_FIFO_FLITS
 from repro.sim.kernel import CycleSimulator, StagedFifo, Wakeable
@@ -127,6 +132,16 @@ class FlatRouterView:
     @property
     def route_fn(self):
         return self._core.route_fn
+
+    def fault_misroute(self, enabled: bool) -> None:
+        """Enter/leave a misroute-one-hop window (see
+        :meth:`repro.noc.router.Router.fault_misroute`)."""
+        self._core.set_misroute(self._index, enabled)
+
+    def fault_block_output(self, out_index: int, blocked: bool) -> None:
+        """Stick/release this router's output ``out_index`` (see
+        :meth:`repro.noc.router.Router.fault_block_output`)."""
+        self._core.set_fault_block(self._index, out_index, blocked)
 
     def connect_output(self, port: Port, downstream: StagedFifo) -> None:
         if port is not Port.LOCAL:
@@ -300,6 +315,12 @@ class FlatMeshCore(Wakeable):
         # injection), which is what makes the dirty lists exhaustive.
         self._dirty_local: list[tuple[int, StagedFifo, int]] = []
         self._dirty_eject: list[StagedFifo] = []
+        # Router-internal fault state: routers currently misrouting
+        # (their _route_rows entry holds the *deflected* table), and a
+        # router-index -> blocked-output bitmask dict (None when no
+        # stuck-grant window is open, keeping the hot path one load).
+        self._misrouted: set[int] = set()
+        self._fault_blocked: dict[int, int] | None = None
         # Statistics (the object backend's Router counters, flattened).
         self._fwd: list[int] = [0] * n
         self._fwd_out: list[int] = [0] * n5
@@ -352,8 +373,65 @@ class FlatMeshCore(Wakeable):
             for x in range(full_width):
                 row[d] = _ALL_PORTS.index(route_fn(here, (x, y)))
                 d += 1
+        if r in self._misrouted:
+            # Misroute-one-hop window: bake the deflection into the
+            # table so the hot loop pays nothing extra.
+            mask = self._fault_connected_mask(r)
+            row = [misroute_index(p, mask) for p in row]
         self._route_rows[r] = row
         return row
+
+    # -- router-internal faults (see repro.faults) ------------------------
+
+    def _fault_connected_mask(self, r: int) -> int:
+        """Connected-output bitmask for router ``r``, matching the
+        object backend's ``Router._connected_mask``."""
+        base = r * _N_PORTS
+        mask = 1 if self._ejects[r] is not None else 0
+        egress = self._egress
+        for i in range(1, _N_PORTS):
+            fid = base + i
+            if self._down[fid] >= 0 or \
+                    (egress is not None and egress[fid] is not None):
+                mask |= 1 << i
+        return mask
+
+    def set_misroute(self, r: int, enabled: bool) -> None:
+        if enabled:
+            if r in self._misrouted:
+                return
+            self._misrouted.add(r)
+        else:
+            if r not in self._misrouted:
+                return
+            self._misrouted.discard(r)
+        # Rebuild the routing table lazily and re-resolve any cached
+        # head requests: decisions made before the toggle stand (the
+        # flit already claimed its output), decisions not yet made use
+        # the new table — the same boundary the object backend gets
+        # from swapping route_fn between steps.
+        self._route_rows[r] = None
+        base = r * _N_PORTS
+        for fid in range(base, base + _N_PORTS):
+            self._req[fid] = -2
+        self._busy_mask |= 1 << r
+
+    def set_fault_block(self, r: int, out_index: int,
+                        blocked: bool) -> None:
+        masks = self._fault_blocked
+        if blocked:
+            if masks is None:
+                masks = self._fault_blocked = {}
+            masks[r] = masks.get(r, 0) | (1 << out_index)
+        elif masks is not None:
+            remaining = masks.get(r, 0) & ~(1 << out_index)
+            if remaining:
+                masks[r] = remaining
+            else:
+                masks.pop(r, None)
+                if not masks:
+                    self._fault_blocked = None
+        self._busy_mask |= 1 << r
 
     # -- scheduling contract ----------------------------------------------
 
@@ -422,6 +500,8 @@ class FlatMeshCore(Wakeable):
         egress = self._egress
         tracer = self.tracer
         traced = tracer.enabled
+        fblocked = self._fault_blocked
+        misrouted = self._misrouted
         n_ports = _N_PORTS
         wants = [-1] * n_ports
         ring_total = self._ring_total
@@ -477,12 +557,16 @@ class FlatMeshCore(Wakeable):
                     else:
                         want = _ALL_PORTS.index(
                             self.route_fn(coord, flit.dst))
+                        if misrouted and r in misrouted:
+                            want = misroute_index(
+                                want, self._fault_connected_mask(r))
                     reqmask |= 1 << want
                 else:
                     want = -1
                 req[fid] = want
                 wants[i] = want
             moved = 0
+            rb = fblocked.get(r, 0) if fblocked is not None else 0
             # Visit only locked-or-requested outputs, ascending index
             # (LSB-first == the object backend's port iteration order).
             om = reqmask | gmask[r]
@@ -515,6 +599,9 @@ class FlatMeshCore(Wakeable):
                     cap = eject.capacity
                     room = (cap is None or
                             len(eject._items) + len(eject._staged) < cap)
+                if rb and (rb >> out_index) & 1:
+                    # Stuck-grant fault (see Router.fault_block_output).
+                    room = False
                 if owner >= 0:
                     # Locked wormhole: move the owner's next body flit.
                     if moved & (1 << owner):

@@ -35,11 +35,53 @@ _PORT_INDEX = {port: index for index, port in enumerate(_ALL_PORTS)}
 _PORT_VALUES = [port.value for port in _ALL_PORTS]
 
 
+#: Deflection preference per output-port index: only X-phase routes
+#: (east/west) deflect, and only sideways into a Y port.  Anything
+#: else re-converges on the faulted router and wedges the wormhole
+#: mesh: a 180-degree reversal is an immediate head-on deadlock (two
+#: packets each holding the link the other needs), and deflecting a
+#: Y-phase route into X lets the neighbour's XY re-route bounce the
+#: packet straight back for the same head-on pair.  A sideways X
+#: deflection instead drops the packet into the adjacent row, where XY
+#: routing resumes in the same direction and never returns — one
+#: forbidden turn at one corner, which cannot close a channel-
+#: dependency cycle on its own (two simultaneously misrouting routers
+#: could; a plan that wants that is asking for the deadlock).
+_DEFLECTIONS = {1: (4, 3), 2: (3, 4)}
+
+
+def misroute_index(orig_index: int, connected_mask: int) -> int:
+    """The misroute-one-hop fault's deflection function.
+
+    Maps a requested output-port *index* to a connected perpendicular
+    port for X-phase (east/west) decisions, so a misrouting router
+    deterministically deflects traffic one legal wrong turn sideways;
+    the next hop re-routes.  Ejection (LOCAL, index 0) and Y-phase
+    (north/south) decisions are never deflected, and a router with no
+    connected Y port keeps the clean route (see ``_DEFLECTIONS`` for
+    why).  Shared by the object and flat mesh backends so both compute
+    bit-identical wrong turns.
+    """
+    for cand in _DEFLECTIONS.get(orig_index, ()):
+        if (connected_mask >> cand) & 1:
+            return cand
+    return orig_index
+
+
 class Router:
     """One mesh router.  Wired up by :class:`repro.noc.mesh.Mesh`."""
 
     # Tracing sink (shared no-op unless attach_tracer replaces it).
     tracer = NULL_TRACER
+
+    # Router-internal fault state (class-level defaults keep the
+    # no-fault hot path free of per-instance dict lookups).
+    #: Bitmask of output-port indices whose grants are stuck (the
+    #: output behaves as if it never has downstream credits).
+    fault_blocked_outputs = 0
+    #: The pre-misroute routing function, saved while a misroute
+    #: window is active.
+    _clean_route_fn = None
 
     def __init__(self, coord: tuple[int, int],
                  fifo_depth: int = ROUTER_INPUT_FIFO_FLITS,
@@ -82,6 +124,49 @@ class Router:
     def connect_output(self, port: Port, downstream: StagedFifo) -> None:
         self.outputs[port] = downstream
         self._out_fifos[_PORT_INDEX[port]] = downstream
+
+    # -- router-internal faults (see repro.faults) ------------------------
+
+    def _connected_mask(self) -> int:
+        mask = 0
+        for index in range(_N_PORTS):
+            if self._out_fifos[index] is not None:
+                mask |= 1 << index
+        return mask
+
+    def fault_misroute(self, enabled: bool) -> None:
+        """Enter/leave a misroute-one-hop window: every routing
+        decision deflects to the next connected directional port."""
+        if enabled:
+            if self._clean_route_fn is not None:
+                return  # already misrouting
+            clean = self.route_fn
+            self._clean_route_fn = clean
+            mask = self._connected_mask()
+
+            def deflected(coord, dst, _clean=clean, _mask=mask):
+                index = _PORT_INDEX[_clean(coord, dst)]
+                return _ALL_PORTS[misroute_index(index, _mask)]
+
+            self.route_fn = deflected
+        elif self._clean_route_fn is not None:
+            self.route_fn = self._clean_route_fn
+            self._clean_route_fn = None
+
+    def fault_block_output(self, out_index: int, blocked: bool) -> None:
+        """Stick (or release) the output port at ``out_index``: while
+        stuck it reports no downstream room, so the owning wormhole —
+        and everything arbitrating for the port — stalls in place."""
+        if blocked:
+            self.fault_blocked_outputs |= 1 << out_index
+        else:
+            self.fault_blocked_outputs &= ~(1 << out_index)
+            if not self.fault_blocked_outputs:
+                # Back to the class-level default (hot-path friendly).
+                try:
+                    del self.fault_blocked_outputs
+                except AttributeError:
+                    pass
 
     # -- quiescence contract (see repro.sim.kernel) -----------------------
 
@@ -126,6 +211,7 @@ class Router:
                     wants[index] = _PORT_INDEX[route_fn(coord, flit.dst)]
         grant = self._grant
         traced = self.tracer.enabled
+        fault_blocked = self.fault_blocked_outputs
         moved = 0
         for out_index in range(_N_PORTS):
             downstream = self._out_fifos[out_index]
@@ -147,6 +233,11 @@ class Router:
                 room = (cap is None or
                         len(downstream._items) + len(downstream._staged)
                         < cap)
+            if fault_blocked and (fault_blocked >> out_index) & 1:
+                # Stuck-grant fault: the output advances nothing while
+                # the window is open, exactly as if credits never
+                # returned.
+                room = False
             owner = grant[out_index]
             if owner >= 0:
                 # Locked wormhole: move the owner's next body flit.

@@ -16,9 +16,19 @@ separate tiles, exactly as the paper describes:
   reserve/grant/ready), with payload staged in buffer tiles.
 
 Not implemented, mirroring the paper's scoping: selective
-acknowledgements, active open, congestion control.
+acknowledgements and active open.  Congestion control — which the
+paper names as integration work — is grown here behind the pluggable
+:mod:`repro.tcp.cc` strategy interface (Tahoe, Reno, CUBIC).
 """
 
+from repro.tcp.cc import (
+    CongestionControl,
+    CubicCC,
+    RenoCC,
+    TahoeCC,
+    cubic_window,
+    make_cc,
+)
 from repro.tcp.flow import FlowTable, RxFlowState, TcpState, TxFlowState
 from repro.tcp.messages import (
     ConnectionNotify,
@@ -39,8 +49,14 @@ from repro.tcp.app import (
 )
 
 __all__ = [
+    "CongestionControl",
     "ConnectionNotify",
+    "CubicCC",
     "FlowTable",
+    "RenoCC",
+    "TahoeCC",
+    "cubic_window",
+    "make_cc",
     "RxComplete",
     "RxFlowState",
     "RxNotify",

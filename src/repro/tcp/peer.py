@@ -17,6 +17,7 @@ from repro.packet.builder import build_tcp_frame, parse_frame
 from repro.packet.ethernet import MacAddress
 from repro.packet.ipv4 import IPv4Address
 from repro.packet.tcp import TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN, TcpHeader
+from repro.tcp.cc import CongestionControl, make_cc
 from repro.tcp.flow import seq_add, seq_diff
 
 
@@ -80,7 +81,9 @@ class SoftTcpPeer:
                  service_cycles: int = 8,
                  wire_cycles: int = 250,
                  rto_cycles: int = params.TCP_RTO_CYCLES,
-                 iss: int = 7_000):
+                 iss: int = 7_000,
+                 congestion_control: bool | str |
+                 CongestionControl | None = None):
         self.design = design
         self.my_ip = IPv4Address(my_ip)
         self.my_mac = MacAddress(my_mac)
@@ -92,6 +95,15 @@ class SoftTcpPeer:
         self.service_cycles = service_cycles
         self.wire_cycles = wire_cycles
         self.rto_cycles = rto_cycles
+
+        # Optional sender-side congestion control (see repro.tcp.cc).
+        # The peer itself is the flow object: the strategy reads and
+        # writes ``self.cwnd`` / ``self.ssthresh``.
+        self.cc = make_cc(congestion_control)
+        self.cwnd = 0  # 0 = no congestion window (legacy behaviour)
+        self.ssthresh = 65535
+        self.dup_acks = 0
+        self.fast_retransmits = 0
 
         self.iss = iss
         self.snd_nxt = iss
@@ -134,6 +146,17 @@ class SoftTcpPeer:
     def bytes_acked(self) -> int:
         return seq_diff(self.snd_una, seq_add(self.iss, 1))
 
+    def _roll_back(self) -> None:
+        """Go-back-N on a detected loss: the server discards
+        out-of-order segments, so every byte past the hole is gone and
+        must be re-sent.  Re-queue the retransmission window at the
+        head of the stream and rewind ``snd_nxt``; the normal data
+        path then resends it under the post-loss congestion window."""
+        if self.sent_unacked:
+            self.send_stream[:0] = self.sent_unacked
+            self.sent_unacked.clear()
+        self.snd_nxt = self.snd_una
+
     # -- clocked behaviour --------------------------------------------------------
 
     def step(self, cycle: int) -> None:
@@ -170,14 +193,30 @@ class SoftTcpPeer:
                 self.peer_window = tcp.window
                 self.established = True
                 self._ack_pending = True
+                if self.cc is not None:
+                    self.cc.on_connect(self, self.mss, cycle)
             return
+        payload = parsed.payload
         if tcp.flag(TCP_ACK):
             advance = seq_diff(tcp.ack, self.snd_una)
             if advance > 0:
                 del self.sent_unacked[:advance]
                 self.snd_una = tcp.ack
+                self.dup_acks = 0
+                if self.cc is not None:
+                    self.cc.on_ack(self, advance, self.mss, cycle)
+            elif advance == 0 and not payload and self.sent_unacked \
+                    and self.cc is not None:
+                # Pure duplicate ACK with data outstanding: the
+                # server re-ACKed an out-of-order segment, i.e. a
+                # packet of ours was lost on the wire.
+                self.dup_acks += 1
+                if self.dup_acks == 3:
+                    self.fast_retransmits += 1
+                    self.cc.on_loss(self, len(self.sent_unacked),
+                                    self.mss, cycle)
+                    self._roll_back()
             self.peer_window = tcp.window
-        payload = parsed.payload
         if payload:
             if tcp.seq == self.rcv_nxt:
                 self.received.extend(payload)
@@ -214,9 +253,13 @@ class SoftTcpPeer:
             ))
         if not self.established:
             return None
-        # Data, window permitting.
+        # Data, window permitting (flow control, and congestion
+        # control when a strategy installed a window).
         in_flight = len(self.sent_unacked)
-        room = min(self.peer_window - in_flight, self.mss)
+        send_window = self.peer_window
+        if self.cc is not None and self.cwnd:
+            send_window = min(send_window, self.cwnd)
+        room = min(send_window - in_flight, self.mss)
         if self.send_stream and room > 0:
             chunk = bytes(self.send_stream[:room])
             del self.send_stream[:len(chunk)]
@@ -235,6 +278,20 @@ class SoftTcpPeer:
                 cycle - self._last_tx_cycle > self.rto_cycles:
             self.retransmits += 1
             self._last_tx_cycle = cycle
+            if self.cc is not None:
+                self.cc.on_timeout(self, len(self.sent_unacked),
+                                   self.mss, cycle)
+                self._roll_back()
+                chunk = bytes(self.send_stream[:self.mss])
+                del self.send_stream[:len(chunk)]
+                header = TcpHeader(
+                    src_port=self.src_port, dst_port=self.server_port,
+                    seq=self.snd_nxt, ack=self.rcv_nxt,
+                    flags=TCP_ACK | TCP_PSH, window=self.window,
+                )
+                self.snd_nxt = seq_add(self.snd_nxt, len(chunk))
+                self.sent_unacked.extend(chunk)
+                return self._frame(header, chunk)
             chunk = bytes(self.sent_unacked[:self.mss])
             header = TcpHeader(
                 src_port=self.src_port, dst_port=self.server_port,

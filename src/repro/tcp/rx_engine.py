@@ -143,7 +143,7 @@ class TcpRxEngineTile(Tile):
         rx = self.flows.rx[flow_id]
 
         if tcp.flag(TCP_ACK):
-            self._process_ack(rx, tcp, outputs)
+            self._process_ack(rx, tcp, outputs, cycle)
 
         if payload or tcp.flag(TCP_FIN):
             self._process_data(rx, tcp, payload, meta, outputs)
@@ -174,7 +174,7 @@ class TcpRxEngineTile(Tile):
         self.tx_engine.request_synack(flow_id)
 
     def _process_ack(self, rx, tcp: TcpHeader,
-                     outputs: list[NocMessage]) -> None:
+                     outputs: list[NocMessage], cycle: int) -> None:
         rx.peer_window = tcp.window
         tx = self.flows.tx[rx.flow_id]
         ack = tcp.ack
@@ -194,12 +194,12 @@ class TcpRxEngineTile(Tile):
             acked = seq_diff(ack, rx.snd_una)
             rx.snd_una = ack
             rx.dup_acks = 0
-            self.tx_engine.on_ack_advance(rx.flow_id, acked)
+            self.tx_engine.on_ack_advance(rx.flow_id, acked, cycle)
         elif ack == rx.snd_una and \
                 seq_diff(tx.snd_nxt, rx.snd_una) > 0:
             rx.dup_acks += 1
             if rx.dup_acks == 3:
-                self.tx_engine.fast_retransmit(rx.flow_id)
+                self.tx_engine.fast_retransmit(rx.flow_id, cycle)
 
     def _process_data(self, rx, tcp: TcpHeader, payload: bytes,
                       meta: PacketMeta,

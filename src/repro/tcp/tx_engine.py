@@ -22,6 +22,7 @@ from repro.noc.mesh import Mesh
 from repro.noc.message import NocMessage
 from repro.packet.ipv4 import IPPROTO_TCP, IPv4Address, IPv4Header
 from repro.packet.tcp import TCP_ACK, TCP_PSH, TCP_SYN, TcpHeader
+from repro.tcp.cc import CongestionControl, make_cc
 from repro.tcp.flow import FlowTable, seq_add, seq_diff
 from repro.tcp.messages import TxGrant, TxReady, TxReserve
 from repro.tiles.base import NextHopTable, PacketMeta, Tile
@@ -40,7 +41,8 @@ class TcpTxEngineTile(Tile):
                  tx_buf_bytes: int = params.TCP_TX_BUFFER_BYTES,
                  mss: int = params.TCP_MSS_BYTES,
                  rto_cycles: int = params.TCP_RTO_CYCLES,
-                 congestion_control: bool = False,
+                 congestion_control: bool | str |
+                 CongestionControl | None = False,
                  initial_window_mss: int = 2,
                  pipeline_ii: int = params.TCP_ENGINE_PIPELINE_II_CYCLES,
                  **kwargs):
@@ -51,13 +53,19 @@ class TcpTxEngineTile(Tile):
         self.tx_buf_bytes = tx_buf_bytes
         self.mss = mss
         self.rto_cycles = rto_cycles
-        # Optional RFC 5681 congestion control — the paper's engine
-        # ships without it ("it does not support ... congestion
-        # control") and names it as integration work; this implements
-        # slow start, congestion avoidance, and window collapse on
-        # fast retransmit / RTO.
-        self.congestion_control = congestion_control
+        # Optional congestion control — the paper's engine ships
+        # without it ("it does not support ... congestion control")
+        # and names it as integration work.  ``congestion_control``
+        # resolves through repro.tcp.cc.make_cc: True keeps the
+        # historical Reno behaviour; "tahoe"/"reno"/"cubic" pick an
+        # algorithm; a CongestionControl instance is used as-is.
+        self.cc = make_cc(congestion_control, initial_window_mss)
+        self.congestion_control = self.cc is not None
         self.initial_window_mss = initial_window_mss
+        # Dedicated-wire calls from the RX engine arrive mid-step
+        # without a cycle argument in older call sites; remember the
+        # last on_cycle clock so CC time (CUBIC) stays monotone.
+        self._last_cycle = 0
         # The engine is pipelined: different flows issue pipeline_ii
         # cycles apart; the same flow waits the full occupancy (its
         # flow-state read-modify-write round-trip).  Section VII-D's
@@ -91,26 +99,27 @@ class TcpTxEngineTile(Tile):
             self._next_buf_base += self.tx_buf_bytes
             self._pending_reserve.setdefault(flow_id, deque())
             self._rr_flows.append(flow_id)
-            if self.congestion_control:
-                tx.cwnd = self.initial_window_mss * self.mss
-                tx.ssthresh = 65535
+            if self.cc is not None:
+                self.cc.on_connect(tx, self.mss, self._last_cycle)
         self._control.append(("synack", flow_id))
 
     def request_ack(self, flow_id: int) -> None:
         self._control.append(("ack", flow_id))
 
-    def fast_retransmit(self, flow_id: int) -> None:
-        if self.congestion_control:
+    def fast_retransmit(self, flow_id: int,
+                        cycle: int | None = None) -> None:
+        if self.cc is not None:
             tx = self.flows.tx.get(flow_id)
             rx = self.flows.rx.get(flow_id)
             if tx is not None and rx is not None:
                 in_flight = max(self.mss, seq_diff(tx.snd_nxt,
                                                    rx.snd_una))
-                tx.ssthresh = max(in_flight // 2, 2 * self.mss)
-                tx.cwnd = tx.ssthresh
+                self.cc.on_loss(tx, in_flight, self.mss,
+                                self._now(cycle))
         self._control.append(("fast_rtx", flow_id))
 
-    def on_ack_advance(self, flow_id: int, acked_bytes: int) -> None:
+    def on_ack_advance(self, flow_id: int, acked_bytes: int,
+                       cycle: int | None = None) -> None:
         """Dedicated-wire notification from the RX engine: new data
         was acknowledged.  Acked bytes free transmit-ring space, so
         any reservation waiting on that space can be granted now (an
@@ -121,15 +130,17 @@ class TcpTxEngineTile(Tile):
                 self._pending_reserve[flow_id]:
             for out in self._grant_reservations(flow_id):
                 self.send(out)
-        if not self.congestion_control:
+        if self.cc is None:
             return
         tx = self.flows.tx.get(flow_id)
-        if tx is None or tx.cwnd == 0:
+        if tx is None:
             return
-        if tx.cwnd < tx.ssthresh:
-            tx.cwnd += min(acked_bytes, self.mss)  # slow start
-        else:
-            tx.cwnd += max(1, self.mss * self.mss // tx.cwnd)
+        self.cc.on_ack(tx, acked_bytes, self.mss, self._now(cycle))
+
+    def _now(self, cycle: int | None) -> int:
+        """Cycle for a dedicated-wire event, falling back to the last
+        clocked step for legacy callers that pass none."""
+        return cycle if cycle is not None else self._last_cycle
 
     def release_flow(self, flow_id: int) -> None:
         self._pending_reserve.pop(flow_id, None)
@@ -200,6 +211,7 @@ class TcpTxEngineTile(Tile):
     # -- transmission pump -----------------------------------------------------------
 
     def on_cycle(self, cycle: int) -> None:
+        self._last_cycle = cycle
         if cycle < self._pace_free or \
                 self.port.tx_backlog >= self.max_tx_backlog:
             return
@@ -254,10 +266,9 @@ class TcpTxEngineTile(Tile):
             if rx.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT) \
                     and in_flight > 0:
                 tx.retransmits += 1
-                if self.congestion_control and tx.cwnd:
-                    # RTO: collapse the window to one segment.
-                    tx.ssthresh = max(in_flight // 2, 2 * self.mss)
-                    tx.cwnd = self.mss
+                if self.cc is not None and tx.cwnd:
+                    # RTO: the strategy's heavy hammer.
+                    self.cc.on_timeout(tx, in_flight, self.mss, cycle)
                 return self._retransmit(flow_id, cycle)
         return None
 

@@ -33,7 +33,12 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.probe import DEFAULT_INTERVAL, Probe, attach_probe
 from repro.telemetry.replay import FrameTraceRecorder, TraceReplayer
-from repro.telemetry.stats import design_counters, design_report
+from repro.telemetry.stats import (
+    design_counters,
+    design_report,
+    jain_index,
+    tcp_flow_counters,
+)
 from repro.telemetry.trace import (
     NULL_TRACER,
     MetricsWindow,
@@ -64,6 +69,8 @@ __all__ = [
     "chrome_trace_events",
     "design_counters",
     "design_report",
+    "jain_index",
+    "tcp_flow_counters",
     "parse_prometheus_text",
     "profile_run",
     "prometheus_text",

@@ -62,7 +62,13 @@ def metric_direction(name: str) -> int:
 
 
 def flatten_metrics(value, prefix: str = "") -> dict[str, float]:
-    """Dotted numeric leaves of a nested dict/list result."""
+    """Dotted numeric leaves of a nested dict/list result.
+
+    Lists flatten to indexed names (``curve.0.goodput_gbps``), so
+    per-load-point curves — lists of dicts — survive as one metric
+    per point instead of being dropped; a top-level list gets bare
+    indices (``0.goodput_gbps``), never a leading dot.
+    """
     out: dict[str, float] = {}
     if isinstance(value, dict):
         for key, item in value.items():
@@ -70,7 +76,8 @@ def flatten_metrics(value, prefix: str = "") -> dict[str, float]:
             out.update(flatten_metrics(item, name))
     elif isinstance(value, (list, tuple)):
         for index, item in enumerate(value):
-            out.update(flatten_metrics(item, f"{prefix}.{index}"))
+            name = f"{prefix}.{index}" if prefix else str(index)
+            out.update(flatten_metrics(item, name))
     elif isinstance(value, bool):
         pass  # True/False are not metrics
     elif isinstance(value, (int, float)):

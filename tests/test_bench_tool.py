@@ -40,6 +40,40 @@ class TestFlatten:
         assert flat == {"a.b": 1.0, "a.c": 2.5, "d.0": 3.0,
                         "d.1.e": 4.0}
 
+    def test_lists_of_dicts_become_indexed_metrics(self):
+        """A per-load-point curve survives flattening as one metric
+        per point instead of being dropped."""
+        assert flatten_metrics([{"a": 1}, {"a": 2}]) == \
+            {"0.a": 1.0, "1.a": 2.0}
+        curve = {"curve": [{"offered_gbps": 20.0, "p99": 145},
+                           {"offered_gbps": 60.0, "p99": 955}],
+                 "knee_gbps": 20.0}
+        assert flatten_metrics(curve) == {
+            "curve.0.offered_gbps": 20.0, "curve.0.p99": 145.0,
+            "curve.1.offered_gbps": 60.0, "curve.1.p99": 955.0,
+            "knee_gbps": 20.0,
+        }
+
+    def test_indexed_metrics_round_trip_through_a_document(self):
+        """Flattened curve metrics survive serialisation, schema
+        validation, and self-comparison without loss."""
+        import json
+
+        from repro.tools.bench import compare_documents
+        doc = {"schema": "repro.bench/1", "results": {"sweep": {
+            "wall_s": 0.0,
+            "metrics": flatten_metrics(
+                {"curve": [{"goodput_gbps": 14.75},
+                           {"goodput_gbps": 39.57}]}),
+        }}}
+        reloaded = validate_bench_document(json.loads(json.dumps(doc)))
+        metrics = reloaded["results"]["sweep"]["metrics"]
+        assert metrics["curve.0.goodput_gbps"] == 14.75
+        assert metrics["curve.1.goodput_gbps"] == 39.57
+        outcome = compare_documents(reloaded, doc)
+        assert not outcome["regressions"]
+        assert outcome["unchanged"] == 2  # both points gated
+
     def test_direction_heuristics(self):
         assert metric_direction("flat.goodput_gbps") == 1
         assert metric_direction("speedup") == 1
